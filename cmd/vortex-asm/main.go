@@ -1,0 +1,84 @@
+// Command vortex-asm assembles a source file for the simulated RV32IMF +
+// Vortex ISA and prints the listing (address, machine word, disassembly,
+// semantic sections), or disassembles raw little-endian words from a
+// binary file.
+//
+// Usage:
+//
+//	vortex-asm [-base 0x1000] [-D NAME=value]... file.s
+//	vortex-asm -d [-base 0x1000] file.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+)
+
+type defsFlag map[string]int64
+
+func (d defsFlag) String() string { return fmt.Sprint(map[string]int64(d)) }
+
+func (d defsFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want NAME=value, got %q", s)
+	}
+	v, err := strconv.ParseInt(val, 0, 64)
+	if err != nil {
+		return err
+	}
+	d[name] = v
+	return nil
+}
+
+func main() {
+	base := flag.String("base", "0x1000", "base address")
+	disasm := flag.Bool("d", false, "disassemble a raw binary instead of assembling")
+	defs := defsFlag{}
+	flag.Var(defs, "D", "define a symbol (NAME=value), repeatable")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: vortex-asm [flags] file")
+		os.Exit(2)
+	}
+	baseAddr, err := strconv.ParseUint(*base, 0, 32)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-asm: bad base:", err)
+		os.Exit(1)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-asm:", err)
+		os.Exit(1)
+	}
+
+	if *disasm {
+		for i := 0; i+4 <= len(data); i += 4 {
+			w := binary.LittleEndian.Uint32(data[i:])
+			pc := uint32(baseAddr) + uint32(i)
+			in, err := isa.Decode(w)
+			if err != nil {
+				fmt.Printf("%08x: %08x  .word %#x\n", pc, w, w)
+				continue
+			}
+			fmt.Printf("%08x: %08x  %s\n", pc, w, isa.Disasm(in, pc))
+		}
+		return
+	}
+
+	prog, err := asm.Assemble(string(data), uint32(baseAddr), defs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-asm:", err)
+		os.Exit(1)
+	}
+	fmt.Print(asm.Disassemble(prog))
+	fmt.Printf("# %d words, %d bytes; %d symbols\n", len(prog.Words), prog.Size(), len(prog.Symbols))
+}

@@ -1,0 +1,140 @@
+// Command vortex-run executes one benchmark kernel on one device
+// configuration and prints the full launch report: the Eq. 1 advice, the
+// chosen lws and regime, cycle counts, pipeline and cache statistics, and
+// the boundedness classification.
+//
+// Usage:
+//
+//	vortex-run [-config 4c8w16t] [-kernel sgemm] [-lws 0] [-scale 1.0]
+//	           [-mapper ours|lws=1|lws=32] [-seed 42] [-compare]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/ocl"
+	"repro/internal/sim"
+)
+
+func main() {
+	cfgName := flag.String("config", "4c8w16t", "device configuration (paper notation)")
+	kernel := flag.String("kernel", "vecadd", "kernel (registry name)")
+	lws := flag.Int("lws", 0, "local work size (0 = use the mapper)")
+	mapper := flag.String("mapper", "ours", "auto mapper when lws=0: ours, lws=1 or lws=32")
+	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
+	seed := flag.Int64("seed", 42, "input seed")
+	compare := flag.Bool("compare", false, "run all three mappings and print the ratio table")
+	flag.Parse()
+
+	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare); err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-run:", err)
+		os.Exit(1)
+	}
+}
+
+func mapperByName(name string) (core.Mapper, error) {
+	switch name {
+	case "ours", "auto":
+		return core.Auto{}, nil
+	case "lws=1", "naive":
+		return core.Naive{}, nil
+	case "lws=32", "fixed":
+		return core.Fixed{N: 32}, nil
+	}
+	return nil, fmt.Errorf("unknown mapper %q", name)
+}
+
+func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool) error {
+	hw, err := core.ParseName(cfgName)
+	if err != nil {
+		return err
+	}
+	spec, err := kernels.ByName(kernel)
+	if err != nil {
+		return err
+	}
+	if compare {
+		return runCompare(hw, spec, scale, seed)
+	}
+	m, err := mapperByName(mapperName)
+	if err != nil {
+		return err
+	}
+
+	d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+	if err != nil {
+		return err
+	}
+	d.SetMapper(m)
+	c, err := spec.Build(d, kernels.Params{Scale: scale, Seed: seed})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("kernel %s (%s, paper size: %s) on %s: %d work items over %d launches\n",
+		spec.Name, spec.Group, spec.PaperSize, hw.Name(), c.WorkItems, len(c.Launches))
+	for _, l := range c.Launches {
+		a := core.Advise(l.GWS, hw)
+		fmt.Printf("  advice for gws=%d: %s\n", l.GWS, a.Explanation)
+	}
+	res, err := c.RunVerified(d, lws)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nverified OK; total %d cycles\n", res.Cycles)
+	for i, lr := range res.Launches {
+		fmt.Printf("\nlaunch %d (%s):\n", i, lr.Kernel)
+		fmt.Printf("  gws=%d lws=%d tasks=%d batches=%d regime=%s warps=%d\n",
+			lr.GWS, lr.LWS, lr.Tasks, lr.Batches, lr.Regime, lr.WarpsActivated)
+		fmt.Printf("  cycles=%d (sim %d + dispatch %d)\n", lr.Cycles, lr.SimCycles, lr.Cycles-lr.SimCycles)
+		fmt.Printf("  instrs=%d lane-ops=%d loads=%d stores=%d line-reqs=%d\n",
+			lr.Stats.Issued, lr.Stats.LaneOps, lr.Stats.Loads, lr.Stats.Stores, lr.Stats.LineRequests)
+		fmt.Printf("  stalls: mem=%d exec=%d -> %s\n", lr.Stats.MemStall, lr.Stats.ExecStall, lr.Boundedness)
+		fmt.Printf("  L1: %d accesses, %.1f%% hits; L2: %d accesses, %.1f%% hits; DRAM: %d line reads, %d writebacks\n",
+			lr.L1.Accesses, lr.L1.HitRate()*100, lr.L2.Accesses, lr.L2.HitRate()*100,
+			lr.DRAM.LineReads, lr.DRAM.Writebacks)
+	}
+	return nil
+}
+
+func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64) error {
+	fmt.Printf("kernel %s on %s (hp=%d): comparing mappings\n\n", spec.Name, hw.Name(), hw.HP())
+	type row struct {
+		name   string
+		mapper core.Mapper
+		cycles uint64
+		lws    int
+	}
+	rows := []row{
+		{name: "lws=1", mapper: core.Naive{}},
+		{name: "lws=32", mapper: core.Fixed{N: 32}},
+		{name: "ours", mapper: core.Auto{}},
+	}
+	for i := range rows {
+		d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+		if err != nil {
+			return err
+		}
+		d.SetMapper(rows[i].mapper)
+		c, err := spec.Build(d, kernels.Params{Scale: scale, Seed: seed})
+		if err != nil {
+			return err
+		}
+		res, err := c.RunVerified(d, 0)
+		if err != nil {
+			return err
+		}
+		rows[i].cycles = res.Cycles
+		rows[i].lws = res.Launches[0].LWS
+	}
+	ours := rows[2].cycles
+	fmt.Printf("%-8s %-6s %-12s %s\n", "mapping", "lws", "cycles", "ratio vs ours")
+	for _, r := range rows {
+		fmt.Printf("%-8s %-6d %-12d %.3f\n", r.name, r.lws, r.cycles, float64(r.cycles)/float64(ours))
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+// Command vortex-sweep regenerates the paper's Figure 2: the three lws
+// mappings (lws=1, lws=32, ours) for every benchmark kernel across the
+// 450-configuration grid, reporting ratio violins, the per-kernel data
+// tables, and the Section 3 aggregate speedups.
+//
+// The full paper-scale campaign (450 configs x 9 kernels x 3 mappings at
+// Scale=1) is hours of single-core simulation; -scale and -configs trade
+// fidelity for time (EXPERIMENTS.md records the settings used there).
+//
+// Usage:
+//
+//	vortex-sweep [-scale 1.0] [-configs 450] [-kernels all] [-seed 42]
+//	             [-violins] [-verify] [-csv out.csv] [-progress]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
+	nConfigs := flag.Int("configs", 450, "number of grid configurations (subsampled deterministically)")
+	kernelCSV := flag.String("kernels", "all", "comma-separated kernels or 'all'")
+	seed := flag.Int64("seed", 42, "input generation seed")
+	violins := flag.Bool("violins", false, "render ASCII violin plots (Figure 2)")
+	verify := flag.Bool("verify", false, "verify device output against CPU references on every run")
+	csvPath := flag.String("csv", "", "write the raw per-run records to this CSV file")
+	progress := flag.Bool("progress", false, "print progress to stderr")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	replot := flag.String("replot", "", "re-render tables/violins from a previously written CSV instead of simulating")
+	flag.Parse()
+
+	if *replot != "" {
+		f, err := os.Open(*replot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		res, err := sweep.ReadCSV(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+			os.Exit(1)
+		}
+		var rerr error
+		if *violins {
+			rerr = res.RenderFigure2(os.Stdout, stats.ViolinOptions{Rows: 17, HalfWidth: 16})
+		} else {
+			rerr = res.RenderTable(os.Stdout)
+		}
+		if rerr != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", rerr)
+			os.Exit(1)
+		}
+		return
+	}
+
+	names := kernels.Names()
+	if *kernelCSV != "all" && *kernelCSV != "" {
+		names = nil
+		for _, f := range strings.Split(*kernelCSV, ",") {
+			names = append(names, strings.TrimSpace(f))
+		}
+	}
+	opts := sweep.Options{
+		Configs: sweep.Subsample(sweep.Grid(), *nConfigs),
+		Kernels: names,
+		Scale:   *scale,
+		Seed:    *seed,
+		Verify:  *verify,
+		Workers: *workers,
+	}
+	if *progress {
+		start := time.Now()
+		opts.Progress = func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\r%d/%d runs (%.0fs elapsed)", done, total, time.Since(start).Seconds())
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+
+	fmt.Printf("Figure 2 reproduction: %d configs x %d kernels x 3 mappings, scale=%.2f, seed=%d\n\n",
+		len(opts.Configs), len(names), *scale, *seed)
+
+	res, err := sweep.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+		os.Exit(1)
+	}
+
+	if *violins {
+		if err := res.RenderFigure2(os.Stdout, stats.ViolinOptions{Rows: 17, HalfWidth: 16}); err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+			os.Exit(1)
+		}
+	} else {
+		if err := res.RenderTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := res.WriteCSV(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s (%d records)\n", *csvPath, len(res.Records))
+	}
+}

@@ -1,0 +1,94 @@
+// Autotune example: explore the lws space of one kernel on one device —
+// what the paper's Figure 1 does manually — then show that Eq. 1 lands on
+// the empirically best point without any search. Also renders the traced
+// wavefront of the best and worst mappings.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	vortex "repro"
+	"repro/internal/kernels"
+	"repro/internal/ocl"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	const gws = 2048
+	hw := vortex.HWInfo{Cores: 2, Warps: 4, Threads: 8} // hp = 64
+
+	advice := vortex.Advise(gws, hw)
+	fmt.Printf("device %s (hp=%d), saxpy gws=%d\n", hw.Name(), hw.HP(), gws)
+	fmt.Printf("Eq. 1 says lws=%d: %s\n\n", advice.LWS, advice.Explanation)
+
+	// Exhaustive search over lws (what a hardware-agnostic autotuner has
+	// to do with one full run per candidate).
+	type point struct {
+		lws    int
+		cycles uint64
+	}
+	var best, worst point
+	fmt.Printf("%-6s %-8s %-10s %s\n", "lws", "cycles", "batches", "regime")
+	for _, lws := range []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048} {
+		res := runSaxpy(hw, gws, lws)
+		fmt.Printf("%-6d %-8d %-10d %s\n", lws, res.Cycles, res.Batches, res.Regime)
+		p := point{lws: lws, cycles: res.Cycles}
+		if best.cycles == 0 || p.cycles < best.cycles {
+			best = p
+		}
+		if p.cycles > worst.cycles {
+			worst = p
+		}
+	}
+
+	auto := runSaxpy(hw, gws, 0)
+	fmt.Printf("\nsearch best: lws=%d (%d cycles); search worst: lws=%d (%d cycles, %.1fx slower)\n",
+		best.lws, best.cycles, worst.lws, worst.cycles, float64(worst.cycles)/float64(best.cycles))
+	fmt.Printf("Eq. 1 (no search): lws=%d (%d cycles, %.3fx of the searched best)\n\n",
+		auto.LWS, auto.Cycles, float64(auto.Cycles)/float64(best.cycles))
+
+	// Show the wavefronts of the two extremes, like Figure 1.
+	fmt.Printf("wavefront at lws=%d (best):\n", best.lws)
+	traceSaxpy(hw, gws, best.lws)
+	fmt.Printf("\nwavefront at lws=%d (worst):\n", worst.lws)
+	traceSaxpy(hw, gws, worst.lws)
+}
+
+func runSaxpy(hw vortex.HWInfo, gws, lws int) *ocl.LaunchResult {
+	d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := kernels.BuildSaxpy(d, gws, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.RunVerified(d, lws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.Launches[0]
+}
+
+func traceSaxpy(hw vortex.HWInfo, gws, lws int) {
+	d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := d.EnableTracing()
+	c, err := kernels.BuildSaxpy(d, gws, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := c.RunVerified(d, lws); err != nil {
+		log.Fatal(err)
+	}
+	if err := col.RenderWaveform(os.Stdout, trace.RenderOptions{Width: 88, ShowMask: true}); err != nil {
+		log.Fatal(err)
+	}
+}

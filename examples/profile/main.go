@@ -1,0 +1,82 @@
+// Profile example: use the trace subsystem and energy model as a
+// profiler — run one kernel under two mappings and compare occupancy
+// timelines, SIMD efficiency, issue utilization, per-section instruction
+// budgets, and the energy breakdown.
+//
+//	go run ./examples/profile
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	vortex "repro"
+	"repro/internal/kernels"
+	"repro/internal/ocl"
+	"repro/internal/sim"
+)
+
+func main() {
+	hw := vortex.HWInfo{Cores: 2, Warps: 4, Threads: 8}
+	const gws = 2048
+
+	fmt.Printf("profiling vecadd (gws=%d) on %s under two mappings\n", gws, hw.Name())
+	for _, lws := range []int{1, 0} {
+		label := fmt.Sprintf("lws=%d (naive)", 1)
+		if lws == 0 {
+			label = fmt.Sprintf("lws=%d (Eq. 1)", vortex.OptimalLWS(gws, hw))
+		}
+		fmt.Printf("\n=== %s ===\n", label)
+		profileOnce(hw, gws, lws)
+	}
+}
+
+func profileOnce(hw vortex.HWInfo, gws, lws int) {
+	d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+	if err != nil {
+		log.Fatal(err)
+	}
+	col := d.EnableTracing()
+	c, err := kernels.BuildVecadd(d, gws, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := c.RunVerified(d, lws)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lr := res.Launches[0]
+
+	fmt.Printf("cycles: %d  (regime: %s, %d batches)\n", lr.Cycles, lr.Regime, lr.Batches)
+
+	// Occupancy timeline: how many warps are in flight over time.
+	if err := col.RenderOccupancy(os.Stdout, 72); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("SIMD efficiency: %.1f%% of lane slots used\n",
+		col.SIMDEfficiency(hw.Threads)*100)
+
+	// Where did the instructions go? Per semantic section of the
+	// generated program (spawn wrapper vs kernel body).
+	sum := col.Summarize()
+	type kv struct {
+		name string
+		n    uint64
+	}
+	var sections []kv
+	for name, n := range sum.PerTag {
+		sections = append(sections, kv{name, n})
+	}
+	sort.Slice(sections, func(i, j int) bool { return sections[i].n > sections[j].n })
+	fmt.Println("instruction budget by section:")
+	for _, s := range sections {
+		fmt.Printf("  %-12s %8d issues (%.1f%%)\n", s.name, s.n, 100*float64(s.n)/float64(sum.Issues))
+	}
+
+	// Energy breakdown from the launch report.
+	e := lr.Energy
+	fmt.Printf("energy estimate: %.1f nJ total (issue %.1f, lanes %.1f, L1 %.1f, L2 %.1f, DRAM %.1f, static %.1f)\n",
+		e.Total()/1000, e.Issue/1000, e.Lanes/1000, e.L1/1000, e.L2/1000, e.DRAM/1000, e.Static/1000)
+}

@@ -1,0 +1,131 @@
+// Quickstart: allocate buffers, write a tiny kernel, and let the runtime
+// pick the local work size from the device's micro-architecture (Eq. 1).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	vortex "repro"
+)
+
+func main() {
+	const n = 4096
+
+	// A 4-core device with 8 warps of 16 threads each: hp = 512 slots.
+	dev, err := vortex.NewDevice(vortex.DefaultConfig(4, 8, 16))
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw := dev.Info()
+	fmt.Printf("device %s: hp = %d thread slots\n", hw.Name(), hw.HP())
+
+	// The paper's runtime decision, visible before launching:
+	advice := vortex.Advise(n, hw)
+	fmt.Printf("Eq. 1 advice for gws=%d: lws=%d (%s)\n  %s\n\n",
+		n, advice.LWS, advice.Regime, advice.Explanation)
+
+	// Host data.
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i)
+		ys[i] = float32(2 * i)
+	}
+	a, err := dev.AllocFloat32(n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, _ := dev.AllocFloat32(n)
+	c, _ := dev.AllocFloat32(n)
+	if err := dev.WriteFloat32(a, xs); err != nil {
+		log.Fatal(err)
+	}
+	if err := dev.WriteFloat32(b, ys); err != nil {
+		log.Fatal(err)
+	}
+
+	// A kernel is RV32IMF assembly executed once per work item:
+	// a0 = global id, a1 = argument block (one 4-byte slot per argument).
+	k, err := vortex.NewKernel(vortex.KernelSource{
+		Name: "vecadd",
+		Body: `
+	lw   t3, 0(a1)       # arg 0: A
+	lw   t4, 4(a1)       # arg 1: B
+	lw   t5, 8(a1)       # arg 2: C
+	slli t6, a0, 2       # byte offset of this work item
+	add  t3, t3, t6
+	add  t4, t4, t6
+	add  t5, t5, t6
+	flw  f0, 0(t3)
+	flw  f1, 0(t4)
+	fadd.s f2, f0, f1
+	fsw  f2, 0(t5)
+`,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := k.SetArgs(a, b, c); err != nil {
+		log.Fatal(err)
+	}
+
+	// lws=0 delegates the mapping to the runtime (the paper's technique).
+	res, err := dev.EnqueueNDRange(k, n, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("launch: lws=%d, %d workgroups in %d batch(es), %d warps, regime: %s\n",
+		res.LWS, res.Tasks, res.Batches, res.WarpsActivated, res.Regime)
+	fmt.Printf("cycles: %d (%d simulated + %d dispatch), %s\n",
+		res.Cycles, res.SimCycles, res.Cycles-res.SimCycles, res.Boundedness)
+	fmt.Printf("L1 hit rate: %.1f%%, DRAM line reads: %d\n\n",
+		res.L1.HitRate()*100, res.DRAM.LineReads)
+
+	// Read back and spot-check.
+	out, err := dev.ReadFloat32(c, n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != xs[i]+ys[i] {
+			log.Fatalf("mismatch at %d: %v", i, out[i])
+		}
+	}
+	fmt.Println("result verified: c[i] == a[i] + b[i] for all i")
+
+	// Compare against the hardware-agnostic mappings the paper benchmarks.
+	fmt.Println("\nfixed mappings on the same device:")
+	for _, lws := range []int{1, 32} {
+		dev2, _ := vortex.NewDevice(vortex.DefaultConfig(4, 8, 16))
+		a2, _ := dev2.AllocFloat32(n)
+		b2, _ := dev2.AllocFloat32(n)
+		c2, _ := dev2.AllocFloat32(n)
+		dev2.WriteFloat32(a2, xs)
+		dev2.WriteFloat32(b2, ys)
+		k2, _ := vortex.NewKernel(vortex.KernelSource{Name: "vecadd", Body: kBody})
+		k2.SetArgs(a2, b2, c2)
+		r, err := dev2.EnqueueNDRange(k2, n, lws)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  lws=%-3d -> %6d cycles (%.2fx ours), regime: %s\n",
+			lws, r.Cycles, float64(r.Cycles)/float64(res.Cycles), r.Regime)
+	}
+}
+
+const kBody = `
+	lw   t3, 0(a1)
+	lw   t4, 4(a1)
+	lw   t5, 8(a1)
+	slli t6, a0, 2
+	add  t3, t3, t6
+	add  t4, t4, t6
+	add  t5, t5, t6
+	flw  f0, 0(t3)
+	flw  f1, 0(t4)
+	fadd.s f2, f0, f1
+	fsw  f2, 0(t5)
+`

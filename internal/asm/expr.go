@@ -1,0 +1,279 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// evalExpr evaluates an integer expression with symbols. Supported syntax:
+// decimal/hex/binary/char literals, symbol names, unary - and ~, binary
+// + - * / % << >> & | ^, and parentheses. Symbols resolve through syms; a
+// reference to an unknown symbol returns errUndefined wrapping the name.
+func evalExpr(src string, syms func(string) (int64, bool)) (int64, error) {
+	p := &exprParser{src: src, syms: syms}
+	v, err := p.parseOr()
+	if err != nil {
+		return 0, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return 0, fmt.Errorf("unexpected %q in expression %q", p.src[p.pos:], src)
+	}
+	return v, nil
+}
+
+// errUndefined reports an expression referencing a symbol that is not (yet)
+// defined. Pass 1 treats it as "size conservatively"; pass 2 as an error.
+type errUndefined struct{ name string }
+
+func (e errUndefined) Error() string { return "undefined symbol " + e.name }
+
+type exprParser struct {
+	src  string
+	pos  int
+	syms func(string) (int64, bool)
+}
+
+func (p *exprParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *exprParser) peek(s string) bool {
+	p.skipSpace()
+	return strings.HasPrefix(p.src[p.pos:], s)
+}
+
+func (p *exprParser) eat(s string) bool {
+	if p.peek(s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *exprParser) parseOr() (int64, error) {
+	v, err := p.parseXor()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		if p.peek("||") { // not supported; avoid eating single |
+			return 0, fmt.Errorf("unsupported operator || in %q", p.src)
+		}
+		if !p.eat("|") {
+			return v, nil
+		}
+		r, err := p.parseXor()
+		if err != nil {
+			return 0, err
+		}
+		v |= r
+	}
+}
+
+func (p *exprParser) parseXor() (int64, error) {
+	v, err := p.parseAnd()
+	if err != nil {
+		return 0, err
+	}
+	for p.eat("^") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return 0, err
+		}
+		v ^= r
+	}
+	return v, nil
+}
+
+func (p *exprParser) parseAnd() (int64, error) {
+	v, err := p.parseShift()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		if p.peek("&&") {
+			return 0, fmt.Errorf("unsupported operator && in %q", p.src)
+		}
+		if !p.eat("&") {
+			return v, nil
+		}
+		r, err := p.parseShift()
+		if err != nil {
+			return 0, err
+		}
+		v &= r
+	}
+}
+
+func (p *exprParser) parseShift() (int64, error) {
+	v, err := p.parseAdd()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.eat("<<"):
+			r, err := p.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			if r < 0 || r > 63 {
+				return 0, fmt.Errorf("shift amount %d out of range", r)
+			}
+			v <<= uint(r)
+		case p.eat(">>"):
+			r, err := p.parseAdd()
+			if err != nil {
+				return 0, err
+			}
+			if r < 0 || r > 63 {
+				return 0, fmt.Errorf("shift amount %d out of range", r)
+			}
+			v >>= uint(r)
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseAdd() (int64, error) {
+	v, err := p.parseMul()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.eat("+"):
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v += r
+		case p.peek(">>") || p.peek("<<"):
+			return v, nil
+		case p.eat("-"):
+			r, err := p.parseMul()
+			if err != nil {
+				return 0, err
+			}
+			v -= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseMul() (int64, error) {
+	v, err := p.parseUnary()
+	if err != nil {
+		return 0, err
+	}
+	for {
+		switch {
+		case p.eat("*"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			v *= r
+		case p.eat("/"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("division by zero in %q", p.src)
+			}
+			v /= r
+		case p.eat("%"):
+			r, err := p.parseUnary()
+			if err != nil {
+				return 0, err
+			}
+			if r == 0 {
+				return 0, fmt.Errorf("modulo by zero in %q", p.src)
+			}
+			v %= r
+		default:
+			return v, nil
+		}
+	}
+}
+
+func (p *exprParser) parseUnary() (int64, error) {
+	switch {
+	case p.eat("-"):
+		v, err := p.parseUnary()
+		return -v, err
+	case p.eat("~"):
+		v, err := p.parseUnary()
+		return ^v, err
+	case p.eat("("):
+		v, err := p.parseOr()
+		if err != nil {
+			return 0, err
+		}
+		if !p.eat(")") {
+			return 0, fmt.Errorf("missing ) in %q", p.src)
+		}
+		return v, nil
+	}
+	return p.parseAtom()
+}
+
+func (p *exprParser) parseAtom() (int64, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, fmt.Errorf("unexpected end of expression %q", p.src)
+	}
+	c := p.src[p.pos]
+	switch {
+	case c == '\'': // character literal
+		rest := p.src[p.pos:]
+		if len(rest) >= 3 && rest[2] == '\'' {
+			p.pos += 3
+			return int64(rest[1]), nil
+		}
+		return 0, fmt.Errorf("bad character literal in %q", p.src)
+	case c >= '0' && c <= '9':
+		start := p.pos
+		for p.pos < len(p.src) && isSymChar(p.src[p.pos]) {
+			p.pos++
+		}
+		lit := p.src[start:p.pos]
+		v, err := strconv.ParseInt(lit, 0, 64)
+		if err != nil {
+			// Allow unsigned hex that overflows int64 range.
+			u, uerr := strconv.ParseUint(lit, 0, 64)
+			if uerr != nil {
+				return 0, fmt.Errorf("bad number %q", lit)
+			}
+			return int64(u), nil
+		}
+		return v, nil
+	case isSymStart(c):
+		start := p.pos
+		for p.pos < len(p.src) && isSymChar(p.src[p.pos]) {
+			p.pos++
+		}
+		name := p.src[start:p.pos]
+		v, ok := p.syms(name)
+		if !ok {
+			return 0, errUndefined{name}
+		}
+		return v, nil
+	}
+	return 0, fmt.Errorf("unexpected character %q in %q", c, p.src)
+}
+
+func isSymStart(c byte) bool {
+	return c == '_' || c == '.' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isSymChar(c byte) bool {
+	return isSymStart(c) || (c >= '0' && c <= '9') || c == 'x' || c == 'X'
+}

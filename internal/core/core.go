@@ -1,0 +1,222 @@
+// Package core implements the paper's contribution: hardware-aware, runtime
+// selection of the OpenCL local_work_size (lws) for Vortex-style GPGPUs.
+//
+// The Vortex runtime turns an NDRange of gws work items into gws/lws
+// workgroup tasks and distributes them over hp = cores x warps x threads
+// hardware thread slots. Eq. 1 of the paper picks the lws that fills every
+// slot exactly once:
+//
+//	lws = gws / hp,   hp = cores x warps x threads
+//
+// evaluated at runtime from the device's micro-architecture parameters, so
+// the programmer never specifies it. The package also provides the baseline
+// mappers the paper compares against (naive lws=1 and fixed lws=32), the
+// three-regime taxonomy of Section 2, and a boundedness classifier over
+// simulator counters used to group kernels like Figure 2.
+package core
+
+import "fmt"
+
+// HWInfo is the runtime-visible micro-architecture of a device.
+type HWInfo struct {
+	Cores   int
+	Warps   int // per core
+	Threads int // per warp
+}
+
+// HP is the hardware parallelism: total thread slots (Eq. 1 denominator).
+func (h HWInfo) HP() int { return h.Cores * h.Warps * h.Threads }
+
+// Name renders the paper's compact notation, e.g. "4c8w16t".
+func (h HWInfo) Name() string { return fmt.Sprintf("%dc%dw%dt", h.Cores, h.Warps, h.Threads) }
+
+// Valid reports whether the geometry is positive.
+func (h HWInfo) Valid() bool { return h.Cores > 0 && h.Warps > 0 && h.Threads > 0 }
+
+// OptimalLWS evaluates Eq. 1 with the paper's clamping: when hp exceeds gws
+// the division resolves to lws=1 (every work item gets its own slot), and a
+// non-dividing gws/hp rounds up so a single batch still covers all work.
+func OptimalLWS(gws int, hw HWInfo) int {
+	if gws <= 0 || !hw.Valid() {
+		return 1
+	}
+	hp := hw.HP()
+	if hp >= gws {
+		return 1
+	}
+	return ceilDiv(gws, hp)
+}
+
+// Tasks returns the number of workgroup tasks an NDRange produces.
+func Tasks(gws, lws int) int {
+	if lws < 1 {
+		lws = 1
+	}
+	return ceilDiv(gws, lws)
+}
+
+// Batches returns how many sequential rounds of hp tasks the launch needs
+// (the "multiple kernel calls" of the paper's lws=1 scenario).
+func Batches(gws, lws int, hw HWInfo) int {
+	if !hw.Valid() {
+		return 0
+	}
+	return ceilDiv(Tasks(gws, lws), hw.HP())
+}
+
+// Regime classifies an (lws, gws, hw) combination per Section 2.
+type Regime uint8
+
+const (
+	// RegimeUnder: lws < gws/hp — more tasks than slots; sequential
+	// batches with per-batch software overhead.
+	RegimeUnder Regime = iota
+	// RegimeExact: lws = gws/hp — one task per slot, single batch.
+	RegimeExact
+	// RegimeOver: lws > gws/hp — fewer tasks than slots; idle hardware.
+	RegimeOver
+)
+
+func (r Regime) String() string {
+	switch r {
+	case RegimeUnder:
+		return "under (multiple batches)"
+	case RegimeExact:
+		return "exact (single full batch)"
+	case RegimeOver:
+		return "over (under-utilized)"
+	}
+	return fmt.Sprintf("regime(%d)", uint8(r))
+}
+
+// RegimeOf returns the regime of a concrete launch.
+func RegimeOf(gws, lws int, hw HWInfo) Regime {
+	tasks := Tasks(gws, lws)
+	hp := hw.HP()
+	switch {
+	case tasks > hp:
+		return RegimeUnder
+	case tasks == hp || lws == OptimalLWS(gws, hw):
+		return RegimeExact
+	default:
+		return RegimeOver
+	}
+}
+
+// Mapper chooses an lws for a launch. The simulated runtime consults it
+// whenever the host passes lws=0 (auto).
+type Mapper interface {
+	Name() string
+	LWS(gws int, hw HWInfo) int
+}
+
+// Naive is the paper's lws=1 baseline: never unroll the kernel temporally
+// over one thread.
+type Naive struct{}
+
+func (Naive) Name() string        { return "lws=1" }
+func (Naive) LWS(int, HWInfo) int { return 1 }
+
+// Fixed is the paper's hardware-agnostic fixed baseline (lws=32 in Fig. 2).
+type Fixed struct{ N int }
+
+func (f Fixed) Name() string { return fmt.Sprintf("lws=%d", f.N) }
+func (f Fixed) LWS(gws int, _ HWInfo) int {
+	if f.N < 1 {
+		return 1
+	}
+	return f.N
+}
+
+// Auto is the paper's mapper: Eq. 1 evaluated at runtime.
+type Auto struct{}
+
+func (Auto) Name() string               { return "ours" }
+func (Auto) LWS(gws int, hw HWInfo) int { return OptimalLWS(gws, hw) }
+
+// Advice is a tuning report for one prospective launch.
+type Advice struct {
+	LWS         int
+	Tasks       int
+	Batches     int
+	Regime      Regime
+	SlotsFilled int // hardware slots that receive at least one task
+	Explanation string
+}
+
+// Advise explains the Eq. 1 decision for a launch, including the expected
+// occupancy, for tooling and the autotune example.
+func Advise(gws int, hw HWInfo) Advice {
+	lws := OptimalLWS(gws, hw)
+	tasks := Tasks(gws, lws)
+	hp := hw.HP()
+	filled := tasks
+	if filled > hp {
+		filled = hp
+	}
+	a := Advice{
+		LWS:         lws,
+		Tasks:       tasks,
+		Batches:     Batches(gws, lws, hw),
+		Regime:      RegimeOf(gws, lws, hw),
+		SlotsFilled: filled,
+	}
+	switch {
+	case hp >= gws:
+		a.Explanation = fmt.Sprintf(
+			"hardware parallelism hp=%d >= gws=%d: Eq. 1 resolves to lws=1; each work item gets its own thread slot (%d of %d slots used)",
+			hp, gws, filled, hp)
+	case gws%hp == 0:
+		a.Explanation = fmt.Sprintf(
+			"lws = gws/hp = %d/%d = %d: all %d slots receive exactly one workgroup in a single batch",
+			gws, hp, lws, hp)
+	default:
+		a.Explanation = fmt.Sprintf(
+			"gws=%d does not divide by hp=%d: lws = ceil(gws/hp) = %d keeps a single batch with %d of %d slots filled",
+			gws, hp, lws, filled, hp)
+	}
+	return a
+}
+
+// Boundedness labels a kernel execution as in Figure 2's grouping.
+type Boundedness uint8
+
+const (
+	ComputeBound Boundedness = iota
+	MemoryBound
+)
+
+func (b Boundedness) String() string {
+	if b == MemoryBound {
+		return "memory-bound"
+	}
+	return "compute-bound"
+}
+
+// Classify labels an execution from simulator stall counters: it is
+// memory-bound when memory stalls dominate lost issue slots and exceed a
+// third of total cycles.
+func Classify(memStall, execStall, cycles uint64) Boundedness {
+	if cycles == 0 {
+		return ComputeBound
+	}
+	if memStall > execStall && memStall*3 > cycles {
+		return MemoryBound
+	}
+	return ComputeBound
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// ParseName parses the compact configuration notation ("4c8w16t") back
+// into an HWInfo.
+func ParseName(s string) (HWInfo, error) {
+	var h HWInfo
+	if _, err := fmt.Sscanf(s, "%dc%dw%dt", &h.Cores, &h.Warps, &h.Threads); err != nil {
+		return HWInfo{}, fmt.Errorf("core: bad config %q (want e.g. 4c8w16t): %v", s, err)
+	}
+	if !h.Valid() {
+		return HWInfo{}, fmt.Errorf("core: non-positive geometry %q", s)
+	}
+	return h, nil
+}

@@ -1,0 +1,135 @@
+package isa
+
+import "fmt"
+
+// Integer register ABI names, x0..x31.
+var intRegNames = [32]string{
+	"zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+	"s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+	"a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6",
+}
+
+// IntRegName returns the ABI name of integer register r.
+func IntRegName(r uint8) string {
+	if r < 32 {
+		return intRegNames[r]
+	}
+	return fmt.Sprintf("x%d", r)
+}
+
+// FloatRegName returns the name of float register r.
+func FloatRegName(r uint8) string { return fmt.Sprintf("f%d", r) }
+
+// IntRegByName resolves an integer register name (ABI or xN) to its index.
+func IntRegByName(name string) (uint8, bool) {
+	for i, n := range intRegNames {
+		if n == name {
+			return uint8(i), true
+		}
+	}
+	if len(name) >= 2 && name[0] == 'x' {
+		var n int
+		if _, err := fmt.Sscanf(name, "x%d", &n); err == nil && n >= 0 && n < 32 {
+			return uint8(n), true
+		}
+	}
+	// Common aliases.
+	if name == "fp" {
+		return 8, true
+	}
+	return 0, false
+}
+
+// floatABINames maps the standard F-extension ABI names to register indices.
+var floatABINames = map[string]uint8{
+	"ft0": 0, "ft1": 1, "ft2": 2, "ft3": 3, "ft4": 4, "ft5": 5, "ft6": 6, "ft7": 7,
+	"fs0": 8, "fs1": 9,
+	"fa0": 10, "fa1": 11, "fa2": 12, "fa3": 13, "fa4": 14, "fa5": 15, "fa6": 16, "fa7": 17,
+	"fs2": 18, "fs3": 19, "fs4": 20, "fs5": 21, "fs6": 22, "fs7": 23,
+	"fs8": 24, "fs9": 25, "fs10": 26, "fs11": 27,
+	"ft8": 28, "ft9": 29, "ft10": 30, "ft11": 31,
+}
+
+// FloatRegByName resolves a float register name (fN or ABI ft/fs/fa names).
+func FloatRegByName(name string) (uint8, bool) {
+	if r, ok := floatABINames[name]; ok {
+		return r, true
+	}
+	if len(name) >= 2 && name[0] == 'f' && name[1] >= '0' && name[1] <= '9' {
+		var n int
+		if _, err := fmt.Sscanf(name, "f%d", &n); err == nil && n >= 0 && n < 32 {
+			return uint8(n), true
+		}
+	}
+	return 0, false
+}
+
+// Disasm renders a decoded instruction as assembler text. pc is used to
+// resolve branch and jump targets into absolute addresses.
+func Disasm(in Inst, pc uint32) string {
+	ir := IntRegName
+	fr := FloatRegName
+	switch in.Op {
+	case LUI, AUIPC:
+		return fmt.Sprintf("%s %s, %#x", in.Op, ir(in.Rd), uint32(in.Imm)>>12)
+	case JAL:
+		return fmt.Sprintf("%s %s, %#x", in.Op, ir(in.Rd), pc+uint32(in.Imm))
+	case JALR:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, ir(in.Rd), in.Imm, ir(in.Rs1))
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return fmt.Sprintf("%s %s, %s, %#x", in.Op, ir(in.Rs1), ir(in.Rs2), pc+uint32(in.Imm))
+	case LB, LH, LW, LBU, LHU:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, ir(in.Rd), in.Imm, ir(in.Rs1))
+	case FLW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, fr(in.Rd), in.Imm, ir(in.Rs1))
+	case SB, SH, SW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, ir(in.Rs2), in.Imm, ir(in.Rs1))
+	case FSW:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, fr(in.Rs2), in.Imm, ir(in.Rs1))
+	case ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, ir(in.Rd), ir(in.Rs1), in.Imm)
+	case ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, ir(in.Rd), ir(in.Rs1), ir(in.Rs2))
+	case FENCE:
+		return "fence"
+	case ECALL:
+		return "ecall"
+	case EBREAK:
+		return "ebreak"
+	case CSRRW, CSRRS, CSRRC:
+		name := CSRName(in.CSR)
+		if name == "" {
+			name = fmt.Sprintf("%#x", in.CSR)
+		}
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, ir(in.Rd), name, ir(in.Rs1))
+	case CSRRWI, CSRRSI, CSRRCI:
+		name := CSRName(in.CSR)
+		if name == "" {
+			name = fmt.Sprintf("%#x", in.CSR)
+		}
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, ir(in.Rd), name, in.Rs1)
+	case FADDS, FSUBS, FMULS, FDIVS, FSGNJS, FSGNJNS, FSGNJXS, FMINS, FMAXS:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, fr(in.Rd), fr(in.Rs1), fr(in.Rs2))
+	case FSQRTS:
+		return fmt.Sprintf("%s %s, %s", in.Op, fr(in.Rd), fr(in.Rs1))
+	case FCVTWS, FCVTWUS, FMVXW, FCLASSS:
+		return fmt.Sprintf("%s %s, %s", in.Op, ir(in.Rd), fr(in.Rs1))
+	case FCVTSW, FCVTSWU, FMVWX:
+		return fmt.Sprintf("%s %s, %s", in.Op, fr(in.Rd), ir(in.Rs1))
+	case FEQS, FLTS, FLES:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, ir(in.Rd), fr(in.Rs1), fr(in.Rs2))
+	case FMADDS, FMSUBS, FNMSUBS, FNMADDS:
+		return fmt.Sprintf("%s %s, %s, %s, %s", in.Op, fr(in.Rd), fr(in.Rs1), fr(in.Rs2), fr(in.Rs3))
+	case VXTMC, VXSPLIT, VXPRED:
+		return fmt.Sprintf("%s %s", in.Op, ir(in.Rs1))
+	case VXWSPAWN, VXBAR:
+		return fmt.Sprintf("%s %s, %s", in.Op, ir(in.Rs1), ir(in.Rs2))
+	case VXJOIN:
+		return "vx_join"
+	case VXBALLOT:
+		return fmt.Sprintf("%s %s, %s", in.Op, ir(in.Rd), ir(in.Rs1))
+	}
+	return fmt.Sprintf("unknown(%d)", in.Op)
+}

@@ -1,0 +1,426 @@
+// Package isa defines the instruction set simulated by this project: the
+// RV32I base integer ISA, the M (integer multiply/divide) and F
+// (single-precision floating point) extensions, and the Vortex SIMT
+// extension occupying the custom-0 opcode space (thread-mask control, warp
+// spawn, divergence split/join, barriers, and a ballot/vote reduction).
+//
+// Instructions are represented two ways: as a 32-bit machine word using the
+// standard RISC-V R/I/S/B/U/J/R4 formats, and as a decoded Inst value that
+// the simulator executes directly. Encode and Decode round-trip exactly for
+// every instruction the package defines.
+package isa
+
+import "fmt"
+
+// Op identifies an instruction mnemonic.
+type Op uint8
+
+// Base RV32I, M, F and Vortex custom operations.
+const (
+	// OpInvalid is the zero Op; decoding a malformed word yields it.
+	OpInvalid Op = iota
+
+	// RV32I
+	LUI
+	AUIPC
+	JAL
+	JALR
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	LB
+	LH
+	LW
+	LBU
+	LHU
+	SB
+	SH
+	SW
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+	FENCE
+	ECALL
+	EBREAK
+	CSRRW
+	CSRRS
+	CSRRC
+	CSRRWI
+	CSRRSI
+	CSRRCI
+
+	// RV32M
+	MUL
+	MULH
+	MULHSU
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+
+	// RV32F
+	FLW
+	FSW
+	FADDS
+	FSUBS
+	FMULS
+	FDIVS
+	FSQRTS
+	FSGNJS
+	FSGNJNS
+	FSGNJXS
+	FMINS
+	FMAXS
+	FCVTWS
+	FCVTWUS
+	FCVTSW
+	FCVTSWU
+	FMVXW
+	FMVWX
+	FEQS
+	FLTS
+	FLES
+	FCLASSS
+	FMADDS
+	FMSUBS
+	FNMSUBS
+	FNMADDS
+
+	// Vortex SIMT extension (custom-0 opcode space).
+
+	// VXTMC sets the warp's thread mask to the low Threads bits of rs1
+	// (read from lane 0). A zero mask halts the warp.
+	VXTMC
+	// VXWSPAWN activates rs1 (lane 0) warps on the current core, each
+	// starting at the address in rs2 with only thread 0 enabled.
+	VXWSPAWN
+	// VXSPLIT pushes IPDOM state for per-thread predicate rs1: the warp
+	// continues with the rs1!=0 lanes; the complementary lanes are
+	// re-activated at the next VXJOIN.
+	VXSPLIT
+	// VXJOIN pops one IPDOM entry (switching to the else-path lanes or
+	// restoring the pre-split mask).
+	VXJOIN
+	// VXBAR blocks the warp on barrier id rs1 (lane 0) until rs2 (lane 0)
+	// warps of the core have arrived.
+	VXBAR
+	// VXPRED ands the thread mask with the per-thread predicate rs1; if
+	// the result would be zero the mask is left unchanged.
+	VXPRED
+	// VXBALLOT writes, to every active lane's rd, the number of active
+	// lanes whose rs1 is non-zero. It is the uniform reduction used to
+	// exit divergent loops (a vote.any/popcount in Vortex 2.x terms).
+	VXBALLOT
+
+	opCount
+)
+
+// Format enumerates RISC-V instruction encodings.
+type Format uint8
+
+const (
+	FmtR Format = iota
+	FmtR4
+	FmtI
+	FmtS
+	FmtB
+	FmtU
+	FmtJ
+)
+
+// Major opcode values (bits [6:0] of the instruction word).
+const (
+	opcLOAD    = 0x03
+	opcLOADFP  = 0x07
+	opcCUSTOM0 = 0x0B
+	opcMISCMEM = 0x0F
+	opcOPIMM   = 0x13
+	opcAUIPC   = 0x17
+	opcSTORE   = 0x23
+	opcSTOREFP = 0x27
+	opcOP      = 0x33
+	opcLUI     = 0x37
+	opcFMADD   = 0x43
+	opcFMSUB   = 0x47
+	opcFNMSUB  = 0x4B
+	opcFNMADD  = 0x4F
+	opcOPFP    = 0x53
+	opcBRANCH  = 0x63
+	opcJALR    = 0x67
+	opcJAL     = 0x6F
+	opcSYSTEM  = 0x73
+)
+
+// spec describes how one Op maps onto instruction-word fields.
+type spec struct {
+	fmt    Format
+	opcode uint32 // 7-bit major opcode
+	funct3 uint32
+	funct7 uint32 // also used for funct2 in R4 (low 2 bits) and imm[11:0] in system ops
+	name   string
+}
+
+var specs = [opCount]spec{
+	LUI:    {FmtU, opcLUI, 0, 0, "lui"},
+	AUIPC:  {FmtU, opcAUIPC, 0, 0, "auipc"},
+	JAL:    {FmtJ, opcJAL, 0, 0, "jal"},
+	JALR:   {FmtI, opcJALR, 0, 0, "jalr"},
+	BEQ:    {FmtB, opcBRANCH, 0, 0, "beq"},
+	BNE:    {FmtB, opcBRANCH, 1, 0, "bne"},
+	BLT:    {FmtB, opcBRANCH, 4, 0, "blt"},
+	BGE:    {FmtB, opcBRANCH, 5, 0, "bge"},
+	BLTU:   {FmtB, opcBRANCH, 6, 0, "bltu"},
+	BGEU:   {FmtB, opcBRANCH, 7, 0, "bgeu"},
+	LB:     {FmtI, opcLOAD, 0, 0, "lb"},
+	LH:     {FmtI, opcLOAD, 1, 0, "lh"},
+	LW:     {FmtI, opcLOAD, 2, 0, "lw"},
+	LBU:    {FmtI, opcLOAD, 4, 0, "lbu"},
+	LHU:    {FmtI, opcLOAD, 5, 0, "lhu"},
+	SB:     {FmtS, opcSTORE, 0, 0, "sb"},
+	SH:     {FmtS, opcSTORE, 1, 0, "sh"},
+	SW:     {FmtS, opcSTORE, 2, 0, "sw"},
+	ADDI:   {FmtI, opcOPIMM, 0, 0, "addi"},
+	SLTI:   {FmtI, opcOPIMM, 2, 0, "slti"},
+	SLTIU:  {FmtI, opcOPIMM, 3, 0, "sltiu"},
+	XORI:   {FmtI, opcOPIMM, 4, 0, "xori"},
+	ORI:    {FmtI, opcOPIMM, 6, 0, "ori"},
+	ANDI:   {FmtI, opcOPIMM, 7, 0, "andi"},
+	SLLI:   {FmtI, opcOPIMM, 1, 0x00, "slli"},
+	SRLI:   {FmtI, opcOPIMM, 5, 0x00, "srli"},
+	SRAI:   {FmtI, opcOPIMM, 5, 0x20, "srai"},
+	ADD:    {FmtR, opcOP, 0, 0x00, "add"},
+	SUB:    {FmtR, opcOP, 0, 0x20, "sub"},
+	SLL:    {FmtR, opcOP, 1, 0x00, "sll"},
+	SLT:    {FmtR, opcOP, 2, 0x00, "slt"},
+	SLTU:   {FmtR, opcOP, 3, 0x00, "sltu"},
+	XOR:    {FmtR, opcOP, 4, 0x00, "xor"},
+	SRL:    {FmtR, opcOP, 5, 0x00, "srl"},
+	SRA:    {FmtR, opcOP, 5, 0x20, "sra"},
+	OR:     {FmtR, opcOP, 6, 0x00, "or"},
+	AND:    {FmtR, opcOP, 7, 0x00, "and"},
+	FENCE:  {FmtI, opcMISCMEM, 0, 0, "fence"},
+	ECALL:  {FmtI, opcSYSTEM, 0, 0x000, "ecall"},
+	EBREAK: {FmtI, opcSYSTEM, 0, 0x001, "ebreak"},
+	CSRRW:  {FmtI, opcSYSTEM, 1, 0, "csrrw"},
+	CSRRS:  {FmtI, opcSYSTEM, 2, 0, "csrrs"},
+	CSRRC:  {FmtI, opcSYSTEM, 3, 0, "csrrc"},
+	CSRRWI: {FmtI, opcSYSTEM, 5, 0, "csrrwi"},
+	CSRRSI: {FmtI, opcSYSTEM, 6, 0, "csrrsi"},
+	CSRRCI: {FmtI, opcSYSTEM, 7, 0, "csrrci"},
+
+	MUL:    {FmtR, opcOP, 0, 0x01, "mul"},
+	MULH:   {FmtR, opcOP, 1, 0x01, "mulh"},
+	MULHSU: {FmtR, opcOP, 2, 0x01, "mulhsu"},
+	MULHU:  {FmtR, opcOP, 3, 0x01, "mulhu"},
+	DIV:    {FmtR, opcOP, 4, 0x01, "div"},
+	DIVU:   {FmtR, opcOP, 5, 0x01, "divu"},
+	REM:    {FmtR, opcOP, 6, 0x01, "rem"},
+	REMU:   {FmtR, opcOP, 7, 0x01, "remu"},
+
+	FLW:     {FmtI, opcLOADFP, 2, 0, "flw"},
+	FSW:     {FmtS, opcSTOREFP, 2, 0, "fsw"},
+	FADDS:   {FmtR, opcOPFP, 0, 0x00, "fadd.s"},
+	FSUBS:   {FmtR, opcOPFP, 0, 0x04, "fsub.s"},
+	FMULS:   {FmtR, opcOPFP, 0, 0x08, "fmul.s"},
+	FDIVS:   {FmtR, opcOPFP, 0, 0x0C, "fdiv.s"},
+	FSQRTS:  {FmtR, opcOPFP, 0, 0x2C, "fsqrt.s"},
+	FSGNJS:  {FmtR, opcOPFP, 0, 0x10, "fsgnj.s"},
+	FSGNJNS: {FmtR, opcOPFP, 1, 0x10, "fsgnjn.s"},
+	FSGNJXS: {FmtR, opcOPFP, 2, 0x10, "fsgnjx.s"},
+	FMINS:   {FmtR, opcOPFP, 0, 0x14, "fmin.s"},
+	FMAXS:   {FmtR, opcOPFP, 1, 0x14, "fmax.s"},
+	FCVTWS:  {FmtR, opcOPFP, 0, 0x60, "fcvt.w.s"},
+	FCVTWUS: {FmtR, opcOPFP, 0, 0x60, "fcvt.wu.s"},
+	FCVTSW:  {FmtR, opcOPFP, 0, 0x68, "fcvt.s.w"},
+	FCVTSWU: {FmtR, opcOPFP, 0, 0x68, "fcvt.s.wu"},
+	FMVXW:   {FmtR, opcOPFP, 0, 0x70, "fmv.x.w"},
+	FMVWX:   {FmtR, opcOPFP, 0, 0x78, "fmv.w.x"},
+	FEQS:    {FmtR, opcOPFP, 2, 0x50, "feq.s"},
+	FLTS:    {FmtR, opcOPFP, 1, 0x50, "flt.s"},
+	FLES:    {FmtR, opcOPFP, 0, 0x50, "fle.s"},
+	FCLASSS: {FmtR, opcOPFP, 1, 0x70, "fclass.s"},
+	FMADDS:  {FmtR4, opcFMADD, 0, 0, "fmadd.s"},
+	FMSUBS:  {FmtR4, opcFMSUB, 0, 0, "fmsub.s"},
+	FNMSUBS: {FmtR4, opcFNMSUB, 0, 0, "fnmsub.s"},
+	FNMADDS: {FmtR4, opcFNMADD, 0, 0, "fnmadd.s"},
+
+	VXTMC:    {FmtR, opcCUSTOM0, 0, 0x00, "vx_tmc"},
+	VXWSPAWN: {FmtR, opcCUSTOM0, 0, 0x01, "vx_wspawn"},
+	VXSPLIT:  {FmtR, opcCUSTOM0, 0, 0x02, "vx_split"},
+	VXJOIN:   {FmtR, opcCUSTOM0, 0, 0x03, "vx_join"},
+	VXBAR:    {FmtR, opcCUSTOM0, 0, 0x04, "vx_bar"},
+	VXPRED:   {FmtR, opcCUSTOM0, 0, 0x05, "vx_pred"},
+	VXBALLOT: {FmtR, opcCUSTOM0, 0, 0x06, "vx_ballot"},
+}
+
+// String returns the assembler mnemonic for the op.
+func (o Op) String() string {
+	if o < opCount && specs[o].name != "" {
+		return specs[o].name
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Fmt reports the encoding format used by the op.
+func (o Op) Fmt() Format { return specs[o].fmt }
+
+// Ops returns every defined operation, in declaration order.
+func Ops() []Op {
+	out := make([]Op, 0, int(opCount)-1)
+	for o := Op(1); o < opCount; o++ {
+		out = append(out, o)
+	}
+	return out
+}
+
+// Inst is a decoded instruction. Rd/Rs1/Rs2/Rs3 index the integer register
+// file for integer ops and the float register file for float ops (the Op
+// determines which); Imm holds the sign-extended immediate, and CSR the
+// 12-bit CSR address for system ops.
+type Inst struct {
+	Op  Op
+	Rd  uint8
+	Rs1 uint8
+	Rs2 uint8
+	Rs3 uint8
+	Imm int32
+	CSR uint16
+}
+
+// IsBranch reports whether the op is a conditional branch.
+func (i Inst) IsBranch() bool {
+	switch i.Op {
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the op reads data memory.
+func (i Inst) IsLoad() bool {
+	switch i.Op {
+	case LB, LH, LW, LBU, LHU, FLW:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether the op writes data memory.
+func (i Inst) IsStore() bool {
+	switch i.Op {
+	case SB, SH, SW, FSW:
+		return true
+	}
+	return false
+}
+
+// IsMem reports whether the op accesses data memory.
+func (i Inst) IsMem() bool { return i.IsLoad() || i.IsStore() }
+
+// IsFloat reports whether the op belongs to the F extension.
+func (i Inst) IsFloat() bool { return i.Op >= FLW && i.Op <= FNMADDS }
+
+// WritesInt reports whether the op writes an integer destination register.
+func (i Inst) WritesInt() bool {
+	switch i.Op {
+	case LUI, AUIPC, JAL, JALR,
+		LB, LH, LW, LBU, LHU,
+		ADDI, SLTI, SLTIU, XORI, ORI, ANDI, SLLI, SRLI, SRAI,
+		ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		CSRRW, CSRRS, CSRRC, CSRRWI, CSRRSI, CSRRCI,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+		FCVTWS, FCVTWUS, FMVXW, FEQS, FLTS, FLES, FCLASSS,
+		VXBALLOT:
+		return true
+	}
+	return false
+}
+
+// WritesFloat reports whether the op writes a float destination register.
+func (i Inst) WritesFloat() bool {
+	switch i.Op {
+	case FLW, FADDS, FSUBS, FMULS, FDIVS, FSQRTS,
+		FSGNJS, FSGNJNS, FSGNJXS, FMINS, FMAXS,
+		FCVTSW, FCVTSWU, FMVWX,
+		FMADDS, FMSUBS, FNMSUBS, FNMADDS:
+		return true
+	}
+	return false
+}
+
+// ReadsIntRs1 reports whether rs1 is read from the integer register file.
+func (i Inst) ReadsIntRs1() bool {
+	switch i.Op {
+	case LUI, AUIPC, JAL, FENCE, ECALL, EBREAK, CSRRWI, CSRRSI, CSRRCI, VXJOIN:
+		return false
+	case FADDS, FSUBS, FMULS, FDIVS, FSQRTS, FSGNJS, FSGNJNS, FSGNJXS,
+		FMINS, FMAXS, FCVTWS, FCVTWUS, FMVXW, FEQS, FLTS, FLES, FCLASSS,
+		FMADDS, FMSUBS, FNMSUBS, FNMADDS:
+		return false // rs1 is a float register
+	}
+	return true
+}
+
+// ReadsIntRs2 reports whether rs2 is read from the integer register file.
+func (i Inst) ReadsIntRs2() bool {
+	switch i.Op {
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU,
+		SB, SH, SW,
+		ADD, SUB, SLL, SLT, SLTU, XOR, SRL, SRA, OR, AND,
+		MUL, MULH, MULHSU, MULHU, DIV, DIVU, REM, REMU,
+		VXWSPAWN, VXBAR:
+		return true
+	}
+	return false
+}
+
+// ReadsFloatRs1 reports whether rs1 is read from the float register file.
+func (i Inst) ReadsFloatRs1() bool {
+	switch i.Op {
+	case FADDS, FSUBS, FMULS, FDIVS, FSQRTS, FSGNJS, FSGNJNS, FSGNJXS,
+		FMINS, FMAXS, FCVTWS, FCVTWUS, FMVXW, FEQS, FLTS, FLES, FCLASSS,
+		FMADDS, FMSUBS, FNMSUBS, FNMADDS:
+		return true
+	}
+	return false
+}
+
+// ReadsFloatRs2 reports whether rs2 is read from the float register file.
+func (i Inst) ReadsFloatRs2() bool {
+	switch i.Op {
+	case FADDS, FSUBS, FMULS, FDIVS, FSGNJS, FSGNJNS, FSGNJXS,
+		FMINS, FMAXS, FEQS, FLTS, FLES, FSW,
+		FMADDS, FMSUBS, FNMSUBS, FNMADDS:
+		return true
+	}
+	return false
+}
+
+// ReadsFloatRs3 reports whether rs3 is read (fused multiply-add family).
+func (i Inst) ReadsFloatRs3() bool {
+	switch i.Op {
+	case FMADDS, FMSUBS, FNMSUBS, FNMADDS:
+		return true
+	}
+	return false
+}

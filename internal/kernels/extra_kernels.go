@@ -1,0 +1,194 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/ocl"
+	"repro/internal/workload"
+)
+
+// Extension workloads beyond the paper's nine benchmarks. They exercise
+// runtime behaviours the paper defers to future work: multi-launch
+// dependency chains whose stages have very different gws (reduction), and
+// transposed access patterns that stress the coalescer (transpose).
+
+// ReducePartialSource computes one partial sum per work item over a
+// strided segment: PART[i] = sum_{k} IN[i + k*NPART] for i + k*NPART < N.
+// Args: IN, PART. Defines: RD_N (input length), RD_PART (partial count).
+// The per-lane loop bound varies only in the tail, handled with the
+// ballot/split idiom.
+var ReducePartialSource = ocl.KernelSource{
+	Name: "reduce_partial",
+	Body: `
+	lw   t3, 0(a1)       # in
+	lw   t4, 4(a1)       # partials
+	li   t5, RD_N
+	li   t6, RD_PART
+	fmv.w.x f0, zero
+	mv   a2, a0          # k-th element index = gid + k*NPART
+__rd_loop:
+	slt  t0, a2, t5
+	vx_ballot t1, t0
+	beqz t1, __rd_done
+	vx_split t0
+	beqz t0, __rd_skip
+	slli t1, a2, 2
+	add  t1, t1, t3
+	flw  f1, 0(t1)
+	fadd.s f0, f0, f1
+	add  a2, a2, t6
+__rd_skip:
+	vx_join
+	j __rd_loop
+__rd_done:
+	slli t1, a0, 2
+	add  t4, t4, t1
+	fsw  f0, 0(t4)
+`,
+}
+
+// BuildReduceSum prepares a two-launch sum reduction of n floats: launch 1
+// computes `parts` strided partial sums; launch 2 reduces the partials
+// with a single work item. Each launch gets its own Eq. 1 decision — the
+// second launch always lands in the hp>gws clamp, exercising the paper's
+// lws=1 edge case.
+func BuildReduceSum(d *ocl.Device, n, parts int, seed int64) (*Case, error) {
+	if parts < 1 || parts > n {
+		return nil, fmt.Errorf("kernels: reduce: parts %d out of range for n=%d", parts, n)
+	}
+	in := workload.Floats(n, seed)
+	bufIn, err := d.AllocFloat32(n)
+	if err != nil {
+		return nil, err
+	}
+	bufPart, err := d.AllocFloat32(parts)
+	if err != nil {
+		return nil, err
+	}
+	bufOut, err := d.AllocFloat32(1)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.WriteFloat32(bufIn, in); err != nil {
+		return nil, err
+	}
+
+	src1 := ReducePartialSource
+	src1.Defs = map[string]int64{"RD_N": int64(n), "RD_PART": int64(parts)}
+	k1 := mustKernel(src1)
+	if err := k1.SetArgs(bufIn, bufPart); err != nil {
+		return nil, err
+	}
+
+	src2 := ReducePartialSource
+	src2.Name = "reduce_final"
+	src2.Defs = map[string]int64{"RD_N": int64(parts), "RD_PART": 1}
+	k2 := mustKernel(src2)
+	if err := k2.SetArgs(bufPart, bufOut); err != nil {
+		return nil, err
+	}
+
+	want := RefReduceSum(in, parts)
+	return &Case{
+		Name: "reduce_sum",
+		Launches: []LaunchSpec{
+			{Kernel: k1, GWS: parts},
+			{Kernel: k2, GWS: 1},
+		},
+		WorkItems: parts + 1,
+		Verify: func(d *ocl.Device) error {
+			got, err := d.ReadFloat32(bufOut, 1)
+			if err != nil {
+				return err
+			}
+			return compareFloats("reduce_sum", got, []float32{want})
+		},
+	}, nil
+}
+
+// RefReduceSum mirrors the device's two-phase summation order exactly.
+func RefReduceSum(in []float32, parts int) float32 {
+	partials := make([]float32, parts)
+	for i := 0; i < parts; i++ {
+		var acc float32
+		for k := i; k < len(in); k += parts {
+			acc += in[k]
+		}
+		partials[i] = acc
+	}
+	var total float32
+	for _, p := range partials {
+		total += p
+	}
+	return total
+}
+
+// TransposeSource computes OUT[x][y] = IN[y][x] for an R x C matrix, one
+// work item per element (gid = y*C + x). Reads are row-contiguous
+// (coalesced); writes are column-strided (uncoalesced) — the classic
+// memory-system stress. Args: IN, OUT. Defines: TR_R, TR_C.
+var TransposeSource = ocl.KernelSource{
+	Name: "transpose",
+	Body: `
+	lw   t3, 0(a1)
+	lw   t4, 4(a1)
+	li   t5, TR_C
+	divu a2, a0, t5      # y
+	remu a3, a0, t5      # x
+	slli t1, a0, 2
+	add  t3, t3, t1      # &in[y][x]
+	flw  f0, 0(t3)
+	li   t5, TR_R
+	mul  t1, a3, t5      # x*R
+	add  t1, t1, a2      # + y
+	slli t1, t1, 2
+	add  t4, t4, t1      # &out[x][y]
+	fsw  f0, 0(t4)
+`,
+}
+
+// BuildTranspose prepares an r x c float matrix transpose.
+func BuildTranspose(d *ocl.Device, r, c int, seed int64) (*Case, error) {
+	in := workload.Floats(r*c, seed)
+	bufIn, err := d.AllocFloat32(r * c)
+	if err != nil {
+		return nil, err
+	}
+	bufOut, err := d.AllocFloat32(r * c)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.WriteFloat32(bufIn, in); err != nil {
+		return nil, err
+	}
+	src := TransposeSource
+	src.Defs = map[string]int64{"TR_R": int64(r), "TR_C": int64(c)}
+	k := mustKernel(src)
+	if err := k.SetArgs(bufIn, bufOut); err != nil {
+		return nil, err
+	}
+	want := RefTranspose(in, r, c)
+	return &Case{
+		Name:      "transpose",
+		Launches:  []LaunchSpec{{Kernel: k, GWS: r * c}},
+		WorkItems: r * c,
+		Verify: func(d *ocl.Device) error {
+			got, err := d.ReadFloat32(bufOut, r*c)
+			if err != nil {
+				return err
+			}
+			return compareFloats("transpose", got, want)
+		},
+	}, nil
+}
+
+// RefTranspose is the CPU reference.
+func RefTranspose(in []float32, r, c int) []float32 {
+	out := make([]float32, r*c)
+	for y := 0; y < r; y++ {
+		for x := 0; x < c; x++ {
+			out[x*r+y] = in[y*c+x]
+		}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/ocl"
+)
+
+func TestReduceSumVerifies(t *testing.T) {
+	verifyOn(t, "reduce_sum", func(d *ocl.Device) (*Case, error) {
+		return BuildReduceSum(d, 300, 16, 5)
+	})
+}
+
+func TestReduceSumEdgeShapes(t *testing.T) {
+	cases := []struct{ n, parts int }{
+		{1, 1},    // single element
+		{7, 7},    // one element per partial
+		{100, 1},  // fully sequential
+		{64, 13},  // non-dividing stride
+		{129, 32}, // tail divergence in the strided loop
+	}
+	for _, c := range cases {
+		d := dev(t, 1, 2, 4)
+		cs, err := BuildReduceSum(d, c.n, c.parts, 9)
+		if err != nil {
+			t.Fatalf("n=%d parts=%d: %v", c.n, c.parts, err)
+		}
+		if _, err := cs.RunVerified(d, 0); err != nil {
+			t.Fatalf("n=%d parts=%d: %v", c.n, c.parts, err)
+		}
+	}
+	d := dev(t, 1, 1, 1)
+	if _, err := BuildReduceSum(d, 10, 0, 1); err == nil {
+		t.Error("parts=0 accepted")
+	}
+	if _, err := BuildReduceSum(d, 10, 11, 1); err == nil {
+		t.Error("parts>n accepted")
+	}
+}
+
+func TestReduceSumSecondLaunchHitsClampRegime(t *testing.T) {
+	// The final reduction has gws=1: Eq. 1 must clamp to lws=1 and the
+	// launch lands in the exact regime with a single slot.
+	d := dev(t, 2, 4, 8)
+	c, err := BuildReduceSum(d, 512, 32, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunVerified(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := res.Launches[1]
+	if final.LWS != 1 || final.Regime != core.RegimeExact || final.WarpsActivated != 1 {
+		t.Errorf("final launch = lws=%d %v warps=%d", final.LWS, final.Regime, final.WarpsActivated)
+	}
+}
+
+func TestTransposeVerifies(t *testing.T) {
+	verifyOn(t, "transpose", func(d *ocl.Device) (*Case, error) {
+		return BuildTranspose(d, 24, 17, 6)
+	})
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	// Transposing twice must restore the input.
+	const r, c = 12, 20
+	in := RefTranspose(RefTranspose(workloadFloats(r*c), r, c), c, r)
+	for i, v := range workloadFloats(r * c) {
+		if in[i] != v {
+			t.Fatalf("reference involution broken at %d", i)
+		}
+	}
+}
+
+func workloadFloats(n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(i%97) - 48
+	}
+	return out
+}
+
+func TestTransposeCoalescingAsymmetry(t *testing.T) {
+	// Reads are contiguous, writes strided: uncoalesced line requests must
+	// exceed the minimum (one per warp access) substantially on a wide
+	// warp, and NoCoalesce must not change correctness.
+	d := dev(t, 1, 2, 8)
+	c, err := BuildTranspose(d, 64, 64, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunVerified(d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := res.Launches[0]
+	// 4096 items over 8-lane warps: 512 read accesses + 512 writes. Reads
+	// coalesce (~2 lines each at lws=256... conservatively < writes).
+	if l.Stats.LineRequests <= l.Stats.Loads {
+		t.Errorf("transpose produced %d line requests for %d loads+%d stores — no stride visible",
+			l.Stats.LineRequests, l.Stats.Loads, l.Stats.Stores)
+	}
+}

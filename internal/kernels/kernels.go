@@ -1,0 +1,96 @@
+// Package kernels provides the paper's nine benchmark workloads as
+// device-assembly kernels with host-side builders and CPU reference
+// implementations: the standalone math kernels (vecadd, relu, saxpy, sgemm,
+// nearest-neighbor distance, 5x5 Gaussian filter) and the combined ML
+// layers (GCN aggregation, full GCN layer, and a ResNet20 conv3x3+ReLU
+// layer on CIFAR-10-shaped tensors).
+//
+// Every builder allocates and initializes device buffers, binds kernel
+// arguments and returns a Case whose Verify method checks device results
+// against the CPU reference bit-for-bit (the simulator and the references
+// evaluate the same float32 operations in the same order).
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ocl"
+)
+
+// LaunchSpec is one NDRange enqueue of a case.
+type LaunchSpec struct {
+	Kernel *ocl.Kernel
+	GWS    int
+}
+
+// Case is a runnable, verifiable workload instance bound to one device.
+type Case struct {
+	Name      string
+	Launches  []LaunchSpec
+	Verify    func(d *ocl.Device) error
+	WorkItems int // total work items across launches
+}
+
+// Result aggregates the launches of one Case execution.
+type Result struct {
+	Case     string
+	Cycles   uint64 // total, including per-launch dispatch overhead
+	Launches []*ocl.LaunchResult
+}
+
+// Run enqueues every launch of the case in order. lws > 0 forces that
+// local work size on each launch; lws = 0 delegates to the device's mapper
+// per launch (each launch gets its own Eq. 1 decision, as in the paper's
+// combined-layer experiments).
+func (c *Case) Run(d *ocl.Device, lws int) (*Result, error) {
+	res := &Result{Case: c.Name}
+	for i, l := range c.Launches {
+		lr, err := d.EnqueueNDRange(l.Kernel, l.GWS, lws)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: %s launch %d: %w", c.Name, i, err)
+		}
+		res.Cycles += lr.Cycles
+		res.Launches = append(res.Launches, lr)
+	}
+	return res, nil
+}
+
+// RunVerified runs the case and checks the device output.
+func (c *Case) RunVerified(d *ocl.Device, lws int) (*Result, error) {
+	res, err := c.Run(d, lws)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Verify(d); err != nil {
+		return nil, fmt.Errorf("kernels: %s: %w", c.Name, err)
+	}
+	return res, nil
+}
+
+// fma32 matches the simulator's fused multiply-add (single rounding).
+func fma32(a, b, c float32) float32 {
+	return float32(math.FMA(float64(a), float64(b), float64(c)))
+}
+
+// compareFloats checks device output against the reference exactly.
+func compareFloats(name string, got, want []float32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: length %d != %d", name, len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g != w && !(g != g && w != w) { // NaN == NaN for this purpose
+			return fmt.Errorf("%s: element %d = %v, want %v", name, i, g, w)
+		}
+	}
+	return nil
+}
+
+func mustKernel(src ocl.KernelSource) *ocl.Kernel {
+	k, err := ocl.NewKernel(src)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}

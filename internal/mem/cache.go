@@ -1,0 +1,160 @@
+package mem
+
+import "fmt"
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	SizeBytes  int // total capacity
+	LineBytes  int // line size (power of two)
+	Ways       int // associativity
+	HitLatency int // cycles from access to data for a hit
+}
+
+// Validate checks the geometry is realizable.
+func (c CacheConfig) Validate() error {
+	if c.LineBytes <= 0 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("mem: line size %d not a power of two", c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("mem: ways %d invalid", c.Ways)
+	}
+	if c.SizeBytes <= 0 || c.SizeBytes%(c.LineBytes*c.Ways) != 0 {
+		return fmt.Errorf("mem: size %d not divisible by line*ways", c.SizeBytes)
+	}
+	sets := c.SizeBytes / (c.LineBytes * c.Ways)
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: set count %d not a power of two", sets)
+	}
+	if c.HitLatency < 0 {
+		return fmt.Errorf("mem: negative hit latency")
+	}
+	return nil
+}
+
+// CacheStats counts cache events.
+type CacheStats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Writebacks uint64
+}
+
+// HitRate returns hits/accesses, or 0 for an untouched cache.
+func (s CacheStats) HitRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Accesses)
+}
+
+type cacheLine struct {
+	tag   uint32
+	valid bool
+	dirty bool
+	lru   uint64 // last-touched stamp; larger is more recent
+}
+
+// Cache is one set-associative, write-back, write-allocate cache level.
+// It tracks tags only; data lives in the flat Memory.
+type Cache struct {
+	cfg       CacheConfig
+	lines     []cacheLine // sets*ways, set-major
+	sets      int
+	lineShift uint
+	setMask   uint32
+	stamp     uint64
+	Stats     CacheStats
+}
+
+// NewCache builds a cache; the config must validate.
+func NewCache(cfg CacheConfig) (*Cache, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sets := cfg.SizeBytes / (cfg.LineBytes * cfg.Ways)
+	shift := uint(0)
+	for 1<<shift != cfg.LineBytes {
+		shift++
+	}
+	return &Cache{
+		cfg:       cfg,
+		lines:     make([]cacheLine, sets*cfg.Ways),
+		sets:      sets,
+		lineShift: shift,
+		setMask:   uint32(sets - 1),
+	}, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+// LineShift returns log2(line size).
+func (c *Cache) LineShift() uint { return c.lineShift }
+
+// lookup probes for the line containing addr, updating LRU on hit.
+func (c *Cache) lookup(addr uint32, write bool) bool {
+	c.Stats.Accesses++
+	c.stamp++
+	set := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.lineShift
+	base := int(set) * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			c.lines[i].lru = c.stamp
+			if write {
+				c.lines[i].dirty = true
+			}
+			c.Stats.Hits++
+			return true
+		}
+	}
+	c.Stats.Misses++
+	return false
+}
+
+// fill inserts the line containing addr, evicting LRU. It reports whether a
+// dirty line was written back.
+func (c *Cache) fill(addr uint32, write bool) (writeback bool, victimAddr uint32) {
+	c.stamp++
+	set := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.lineShift
+	base := int(set) * c.cfg.Ways
+	victim := base
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if !c.lines[i].valid {
+			victim = i
+			break
+		}
+		if c.lines[i].lru < c.lines[victim].lru {
+			victim = i
+		}
+	}
+	line := &c.lines[victim]
+	if line.valid && line.dirty {
+		writeback = true
+		victimAddr = (line.tag << c.lineShift)
+		c.Stats.Writebacks++
+	}
+	*line = cacheLine{tag: tag, valid: true, dirty: write, lru: c.stamp}
+	return writeback, victimAddr
+}
+
+// Contains reports (without LRU side effects) whether addr's line is cached.
+func (c *Cache) Contains(addr uint32) bool {
+	set := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.lineShift
+	base := int(set) * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Flush invalidates every line (statistics are preserved).
+func (c *Cache) Flush() {
+	for i := range c.lines {
+		c.lines[i] = cacheLine{}
+	}
+}

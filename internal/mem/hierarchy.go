@@ -1,0 +1,234 @@
+package mem
+
+import "fmt"
+
+// DRAMConfig models main memory timing.
+type DRAMConfig struct {
+	Latency       int // cycles from request to first data
+	BytesPerCycle int // sustained transfer bandwidth per channel
+	// Channels is the number of independent memory channels; lines are
+	// interleaved across channels by address. 0 means 1. Device builders
+	// scale this with core count, mirroring how Vortex widens its memory
+	// interface with the number of clusters.
+	Channels int
+}
+
+// HierarchyConfig sizes the full memory system.
+type HierarchyConfig struct {
+	L1   CacheConfig
+	L2   CacheConfig
+	DRAM DRAMConfig
+	// L2Disabled bypasses the shared L2 (misses go straight to DRAM).
+	L2Disabled bool
+}
+
+// DefaultHierarchyConfig returns the Vortex-like defaults documented in
+// DESIGN.md: 16 KiB 4-way L1 (64 B lines, 1-cycle hits), 128 KiB 8-way
+// shared L2 (12-cycle hits), 100-cycle DRAM at 16 B/cycle.
+func DefaultHierarchyConfig() HierarchyConfig {
+	return HierarchyConfig{
+		L1:   CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 2},
+		L2:   CacheConfig{SizeBytes: 128 << 10, LineBytes: 64, Ways: 8, HitLatency: 24},
+		DRAM: DRAMConfig{Latency: 180, BytesPerCycle: 16},
+	}
+}
+
+// DRAMStats counts main-memory traffic.
+type DRAMStats struct {
+	LineReads  uint64
+	Writebacks uint64
+	BusyCycles uint64
+}
+
+// Hierarchy is the assembled memory system for one device: per-core private
+// L1 caches over a shared L2 over DRAM.
+type Hierarchy struct {
+	cfg      HierarchyConfig
+	l1       []*Cache
+	l2       *Cache
+	dramFree []uint64 // next free cycle per memory channel
+	DRAM     DRAMStats
+}
+
+// NewHierarchy builds the hierarchy for cores L1 instances.
+func NewHierarchy(cores int, cfg HierarchyConfig) (*Hierarchy, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("mem: cores %d invalid", cores)
+	}
+	if cfg.L1.LineBytes != cfg.L2.LineBytes {
+		return nil, fmt.Errorf("mem: L1/L2 line sizes differ (%d vs %d)", cfg.L1.LineBytes, cfg.L2.LineBytes)
+	}
+	if cfg.DRAM.Latency < 0 || cfg.DRAM.BytesPerCycle <= 0 {
+		return nil, fmt.Errorf("mem: bad DRAM config %+v", cfg.DRAM)
+	}
+	h := &Hierarchy{cfg: cfg}
+	for i := 0; i < cores; i++ {
+		c, err := NewCache(cfg.L1)
+		if err != nil {
+			return nil, fmt.Errorf("mem: L1: %w", err)
+		}
+		h.l1 = append(h.l1, c)
+	}
+	l2, err := NewCache(cfg.L2)
+	if err != nil {
+		return nil, fmt.Errorf("mem: L2: %w", err)
+	}
+	h.l2 = l2
+	ch := cfg.DRAM.Channels
+	if ch < 1 {
+		ch = 1
+	}
+	h.dramFree = make([]uint64, ch)
+	return h, nil
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// LineShift returns log2 of the cache line size.
+func (h *Hierarchy) LineShift() uint { return h.l1[0].lineShift }
+
+// L1Stats returns the statistics of core's private L1.
+func (h *Hierarchy) L1Stats(core int) CacheStats { return h.l1[core].Stats }
+
+// L2Stats returns the shared L2 statistics.
+func (h *Hierarchy) L2Stats() CacheStats { return h.l2.Stats }
+
+// TotalL1Stats sums L1 statistics over all cores.
+func (h *Hierarchy) TotalL1Stats() CacheStats {
+	var s CacheStats
+	for _, c := range h.l1 {
+		s.Accesses += c.Stats.Accesses
+		s.Hits += c.Stats.Hits
+		s.Misses += c.Stats.Misses
+		s.Writebacks += c.Stats.Writebacks
+	}
+	return s
+}
+
+// AccessResult describes where a line request was satisfied.
+type AccessResult struct {
+	Done  uint64 // cycle the data is available (or the store retires)
+	L1Hit bool
+	L2Hit bool
+}
+
+// Access performs the timing walk for one cache-line request issued by core
+// at cycle now. addr may be any byte address within the line. Write requests
+// allocate like reads (write-allocate) and mark lines dirty.
+func (h *Hierarchy) Access(core int, addr uint32, write bool, now uint64) AccessResult {
+	l1 := h.l1[core]
+	t := now + uint64(h.cfg.L1.HitLatency)
+	if l1.lookup(addr, write) {
+		return AccessResult{Done: t, L1Hit: true}
+	}
+	// L1 miss: walk down, then fill on the way back.
+	if wb, victim := l1.fill(addr, write); wb {
+		// Dirty L1 victims are absorbed by the L2 (or DRAM if disabled).
+		h.writebackToL2(victim, t)
+	}
+	if h.cfg.L2Disabled {
+		done := h.dramAccess(addr, t)
+		return AccessResult{Done: done}
+	}
+	t += uint64(h.cfg.L2.HitLatency)
+	if h.l2.lookup(addr, write) {
+		return AccessResult{Done: t, L2Hit: true}
+	}
+	if wb, victim := h.l2.fill(addr, write); wb {
+		h.dramWriteback(victim, t)
+	}
+	done := h.dramAccess(addr, t)
+	return AccessResult{Done: done}
+}
+
+// writebackToL2 retires a dirty L1 victim into the L2 without stalling the
+// requester; if it misses in L2, the line is allocated there (dirty) and may
+// in turn evict to DRAM.
+func (h *Hierarchy) writebackToL2(addr uint32, now uint64) {
+	if h.cfg.L2Disabled {
+		h.dramWriteback(addr, now)
+		return
+	}
+	if h.l2.lookup(addr, true) {
+		return
+	}
+	if wb, victim := h.l2.fill(addr, true); wb {
+		h.dramWriteback(victim, now)
+	}
+}
+
+// channelOf interleaves cache lines across memory channels.
+func (h *Hierarchy) channelOf(addr uint32) int {
+	return int((addr >> h.LineShift()) % uint32(len(h.dramFree)))
+}
+
+// dramAccess models a line fetch: it waits for its channel, occupies it
+// for the transfer, and completes after latency + transfer.
+func (h *Hierarchy) dramAccess(addr uint32, now uint64) uint64 {
+	ch := h.channelOf(addr)
+	transfer := h.transferCycles()
+	start := now
+	if h.dramFree[ch] > start {
+		start = h.dramFree[ch]
+	}
+	h.dramFree[ch] = start + transfer
+	h.DRAM.LineReads++
+	h.DRAM.BusyCycles += transfer
+	return start + uint64(h.cfg.DRAM.Latency) + transfer
+}
+
+// dramWriteback occupies channel bandwidth for an evicted dirty line
+// without delaying the requester.
+func (h *Hierarchy) dramWriteback(addr uint32, now uint64) {
+	ch := h.channelOf(addr)
+	transfer := h.transferCycles()
+	start := now
+	if h.dramFree[ch] > start {
+		start = h.dramFree[ch]
+	}
+	h.dramFree[ch] = start + transfer
+	h.DRAM.Writebacks++
+	h.DRAM.BusyCycles += transfer
+}
+
+func (h *Hierarchy) transferCycles() uint64 {
+	n := uint64(h.cfg.L1.LineBytes) / uint64(h.cfg.DRAM.BytesPerCycle)
+	if n == 0 {
+		n = 1
+	}
+	return n
+}
+
+// Flush invalidates all cache levels (used between independent launches in
+// cold-cache experiments; statistics are preserved).
+func (h *Hierarchy) Flush() {
+	for _, c := range h.l1 {
+		c.Flush()
+	}
+	h.l2.Flush()
+}
+
+// Coalesce merges the active lanes' byte addresses into unique line
+// requests, preserving first-touch order. mask selects active lanes; out is
+// an optional reusable buffer.
+func Coalesce(addrs []uint32, mask uint64, lineShift uint, out []uint32) []uint32 {
+	out = out[:0]
+	for i, a := range addrs {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		line := a >> lineShift << lineShift
+		seen := false
+		for _, o := range out {
+			if o == line {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			out = append(out, line)
+		}
+	}
+	return out
+}

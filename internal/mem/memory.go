@@ -1,0 +1,111 @@
+// Package mem models the GPGPU memory system: a flat little-endian device
+// memory, set-associative write-back caches (a private L1 per core and a
+// shared L2), a DRAM model with fixed latency and finite bandwidth, and the
+// per-warp access coalescer.
+//
+// The caches are functional-timing only: data always lives in the flat
+// memory (the simulator is sequentially consistent at instruction issue) and
+// the hierarchy computes completion cycles and hit/miss statistics.
+package mem
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Memory is the flat device memory. Addresses are byte addresses from 0 to
+// Size()-1; all accesses are bounds-checked.
+type Memory struct {
+	data []byte
+}
+
+// NewMemory allocates a device memory of size bytes.
+func NewMemory(size uint32) *Memory { return &Memory{data: make([]byte, size)} }
+
+// Size returns the memory size in bytes.
+func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
+
+// Grow extends the memory to at least size bytes, preserving contents.
+func (m *Memory) Grow(size uint32) {
+	if size <= m.Size() {
+		return
+	}
+	bigger := make([]byte, size)
+	copy(bigger, m.data)
+	m.data = bigger
+}
+
+// InBounds reports whether [addr, addr+n) lies inside the memory.
+func (m *Memory) InBounds(addr, n uint32) bool {
+	return n <= uint32(len(m.data)) && addr <= uint32(len(m.data))-n
+}
+
+// Read32 loads a little-endian 32-bit word.
+func (m *Memory) Read32(addr uint32) (uint32, bool) {
+	if !m.InBounds(addr, 4) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(m.data[addr:]), true
+}
+
+// Write32 stores a little-endian 32-bit word.
+func (m *Memory) Write32(addr, v uint32) bool {
+	if !m.InBounds(addr, 4) {
+		return false
+	}
+	binary.LittleEndian.PutUint32(m.data[addr:], v)
+	return true
+}
+
+// Read16 loads a little-endian 16-bit halfword.
+func (m *Memory) Read16(addr uint32) (uint16, bool) {
+	if !m.InBounds(addr, 2) {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint16(m.data[addr:]), true
+}
+
+// Write16 stores a little-endian 16-bit halfword.
+func (m *Memory) Write16(addr uint32, v uint16) bool {
+	if !m.InBounds(addr, 2) {
+		return false
+	}
+	binary.LittleEndian.PutUint16(m.data[addr:], v)
+	return true
+}
+
+// Read8 loads a byte.
+func (m *Memory) Read8(addr uint32) (uint8, bool) {
+	if !m.InBounds(addr, 1) {
+		return 0, false
+	}
+	return m.data[addr], true
+}
+
+// Write8 stores a byte.
+func (m *Memory) Write8(addr uint32, v uint8) bool {
+	if !m.InBounds(addr, 1) {
+		return false
+	}
+	m.data[addr] = v
+	return true
+}
+
+// WriteBytes copies b into memory at addr.
+func (m *Memory) WriteBytes(addr uint32, b []byte) error {
+	if !m.InBounds(addr, uint32(len(b))) {
+		return fmt.Errorf("mem: write of %d bytes at %#x out of bounds (size %#x)", len(b), addr, m.Size())
+	}
+	copy(m.data[addr:], b)
+	return nil
+}
+
+// ReadBytes copies n bytes starting at addr into a fresh slice.
+func (m *Memory) ReadBytes(addr, n uint32) ([]byte, error) {
+	if !m.InBounds(addr, n) {
+		return nil, fmt.Errorf("mem: read of %d bytes at %#x out of bounds (size %#x)", n, addr, m.Size())
+	}
+	out := make([]byte, n)
+	copy(out, m.data[addr:])
+	return out, nil
+}

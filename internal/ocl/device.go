@@ -1,0 +1,194 @@
+// Package ocl is the OpenCL-style host runtime for the simulated Vortex
+// GPGPU: device and buffer management, kernel argument binding, and NDRange
+// dispatch. Dispatch reproduces the Vortex runtime's mapping: the gws work
+// items become gws/lws workgroup tasks, split into contiguous chunks across
+// cores, assigned threads-first-then-warps within each core, with each
+// hardware thread looping over the lws work items of its workgroup — the
+// mechanism whose lws sensitivity the paper exploits.
+package ocl
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Device memory layout.
+const (
+	// CodeBase is where kernel programs are linked.
+	CodeBase uint32 = 0x1000
+	// ArgBase is the kernel argument block (one 4-byte slot per argument).
+	ArgBase uint32 = 0x10000
+	// HeapBase is the start of the buffer allocator.
+	HeapBase uint32 = 0x100000
+	// DefaultDispatchOverhead is the fixed driver cost per launch, in
+	// cycles (host-device handshake, program upload, warp setup).
+	DefaultDispatchOverhead uint64 = 500
+)
+
+// Device owns a simulated GPGPU: its memory, cache hierarchy and simulator
+// instance. Buffer contents and cache state persist across launches.
+type Device struct {
+	cfg    sim.Config
+	memory *mem.Memory
+	hier   *mem.Hierarchy
+	sim    *sim.Sim
+
+	mapper core.Mapper
+	// DispatchOverhead is charged once per EnqueueNDRange (cycles).
+	DispatchOverhead uint64
+
+	allocTop    uint32
+	currentProg *asm.Program // program of the launch in flight (for tagging)
+	observer    func(sim.IssueEvent)
+}
+
+// NewDevice builds a device for the given configuration.
+func NewDevice(cfg sim.Config) (*Device, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	memory := mem.NewMemory(HeapBase)
+	hier, err := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sim.New(cfg, memory, hier)
+	if err != nil {
+		return nil, err
+	}
+	return &Device{
+		cfg:              cfg,
+		memory:           memory,
+		hier:             hier,
+		sim:              s,
+		mapper:           core.Auto{},
+		DispatchOverhead: DefaultDispatchOverhead,
+		allocTop:         HeapBase,
+	}, nil
+}
+
+// Info returns the runtime-visible micro-architecture parameters — the
+// inputs to Eq. 1.
+func (d *Device) Info() core.HWInfo {
+	return core.HWInfo{Cores: d.cfg.Cores, Warps: d.cfg.Warps, Threads: d.cfg.Threads}
+}
+
+// Config returns the full simulator configuration.
+func (d *Device) Config() sim.Config { return d.cfg }
+
+// Sim exposes the underlying simulator (for ablations and tests).
+func (d *Device) Sim() *sim.Sim { return d.sim }
+
+// SetMapper replaces the automatic lws policy used when EnqueueNDRange is
+// called with lws=0.
+func (d *Device) SetMapper(m core.Mapper) { d.mapper = m }
+
+// Mapper returns the current automatic lws policy.
+func (d *Device) Mapper() core.Mapper { return d.mapper }
+
+// SetObserver installs a raw per-issue observer for the next launches
+// (e.g. a trace.Collector's Observe method).
+func (d *Device) SetObserver(fn func(sim.IssueEvent)) {
+	d.observer = fn
+	d.sim.SetObserver(fn)
+}
+
+// Buffer is a device memory allocation.
+type Buffer struct {
+	addr uint32
+	size uint32
+	dev  *Device
+}
+
+// Addr returns the device address of the buffer.
+func (b Buffer) Addr() uint32 { return b.addr }
+
+// Size returns the buffer size in bytes.
+func (b Buffer) Size() uint32 { return b.size }
+
+// Alloc reserves size bytes of device memory (64-byte aligned).
+func (d *Device) Alloc(size uint32) (Buffer, error) {
+	if size == 0 {
+		return Buffer{}, fmt.Errorf("ocl: zero-size allocation")
+	}
+	const align = 64
+	addr := (d.allocTop + align - 1) &^ (align - 1)
+	end := addr + size
+	if end < addr {
+		return Buffer{}, fmt.Errorf("ocl: allocation of %d bytes overflows address space", size)
+	}
+	d.allocTop = end
+	d.memory.Grow(end)
+	return Buffer{addr: addr, size: size, dev: d}, nil
+}
+
+// AllocFloat32 reserves a buffer for n float32 values.
+func (d *Device) AllocFloat32(n int) (Buffer, error) { return d.Alloc(uint32(n) * 4) }
+
+// AllocUint32 reserves a buffer for n uint32 values.
+func (d *Device) AllocUint32(n int) (Buffer, error) { return d.Alloc(uint32(n) * 4) }
+
+// WriteFloat32 copies host data into the buffer.
+func (d *Device) WriteFloat32(b Buffer, data []float32) error {
+	if uint32(len(data))*4 > b.size {
+		return fmt.Errorf("ocl: write of %d floats exceeds buffer size %d", len(data), b.size)
+	}
+	raw := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
+	}
+	return d.memory.WriteBytes(b.addr, raw)
+}
+
+// ReadFloat32 copies n float32 values out of the buffer.
+func (d *Device) ReadFloat32(b Buffer, n int) ([]float32, error) {
+	if uint32(n)*4 > b.size {
+		return nil, fmt.Errorf("ocl: read of %d floats exceeds buffer size %d", n, b.size)
+	}
+	raw, err := d.memory.ReadBytes(b.addr, uint32(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+	}
+	return out, nil
+}
+
+// WriteUint32 copies host data into the buffer.
+func (d *Device) WriteUint32(b Buffer, data []uint32) error {
+	if uint32(len(data))*4 > b.size {
+		return fmt.Errorf("ocl: write of %d words exceeds buffer size %d", len(data), b.size)
+	}
+	raw := make([]byte, len(data)*4)
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[i*4:], v)
+	}
+	return d.memory.WriteBytes(b.addr, raw)
+}
+
+// ReadUint32 copies n uint32 values out of the buffer.
+func (d *Device) ReadUint32(b Buffer, n int) ([]uint32, error) {
+	if uint32(n)*4 > b.size {
+		return nil, fmt.Errorf("ocl: read of %d words exceeds buffer size %d", n, b.size)
+	}
+	raw, err := d.memory.ReadBytes(b.addr, uint32(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(raw[i*4:])
+	}
+	return out, nil
+}
+
+// FlushCaches invalidates the cache hierarchy (cold-cache experiments).
+func (d *Device) FlushCaches() { d.hier.Flush() }

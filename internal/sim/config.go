@@ -1,0 +1,134 @@
+// Package sim implements a cycle-level simulator of a Vortex-like SIMT
+// GPGPU: a grid of cores, each hosting a set of warps with per-thread
+// register files, an in-order single-issue pipeline with a register
+// scoreboard, IPDOM-stack branch divergence (vx_split/vx_join), core-local
+// barriers, warp control (vx_tmc/vx_wspawn), and a shared memory hierarchy
+// with per-warp access coalescing.
+//
+// Timing model: each core issues at most one instruction per cycle from one
+// ready warp (round-robin or greedy-then-oldest). Instructions execute
+// functionally at issue; destination registers become visible after the
+// functional-unit latency, enforced by the scoreboard. Memory instructions
+// coalesce lane addresses into line requests processed one per LSU cycle and
+// timed by the mem.Hierarchy.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// SchedPolicy selects the warp scheduling policy of a core.
+type SchedPolicy uint8
+
+const (
+	// SchedRoundRobin rotates issue priority over warps each cycle.
+	SchedRoundRobin SchedPolicy = iota
+	// SchedGTO keeps issuing the same warp until it stalls, then switches
+	// to the least-recently-issued ready warp.
+	SchedGTO
+)
+
+func (s SchedPolicy) String() string {
+	switch s {
+	case SchedRoundRobin:
+		return "rr"
+	case SchedGTO:
+		return "gto"
+	}
+	return fmt.Sprintf("sched(%d)", uint8(s))
+}
+
+// Latencies holds functional-unit latencies in cycles (from issue to the
+// cycle the destination register may be consumed).
+type Latencies struct {
+	ALU   int
+	Mul   int
+	Div   int
+	FAdd  int // also FSub, FMin/FMax, sign injections, compares, moves
+	FMul  int
+	FMA   int
+	FDiv  int
+	FSqrt int
+}
+
+// DefaultLatencies returns the DESIGN.md defaults.
+func DefaultLatencies() Latencies {
+	return Latencies{ALU: 1, Mul: 3, Div: 16, FAdd: 4, FMul: 4, FMA: 4, FDiv: 16, FSqrt: 16}
+}
+
+// Config describes one device configuration.
+type Config struct {
+	Cores   int
+	Warps   int // warps per core
+	Threads int // threads (lanes) per warp
+
+	Mem   mem.HierarchyConfig
+	Lat   Latencies
+	Sched SchedPolicy
+
+	// LSUPorts is the number of cache-line requests the load-store unit
+	// can issue per cycle (the banked L1 of Vortex services lanes hitting
+	// distinct banks in parallel). Uncoalesced warp accesses occupy the
+	// LSU for ceil(lines/LSUPorts) cycles.
+	LSUPorts int
+
+	// MaxCycles aborts runaway simulations; 0 means a generous default.
+	MaxCycles uint64
+}
+
+// DefaultConfig returns the default device: cores x warps x threads with the
+// standard memory hierarchy and latencies.
+func DefaultConfig(cores, warps, threads int) Config {
+	m := mem.DefaultHierarchyConfig()
+	// Memory channels scale with core count (Vortex widens its memory
+	// interface with the number of clusters), so large devices are not
+	// artificially bandwidth-starved.
+	m.DRAM.Channels = cores
+	return Config{
+		Cores:    cores,
+		Warps:    warps,
+		Threads:  threads,
+		Mem:      m,
+		Lat:      DefaultLatencies(),
+		Sched:    SchedRoundRobin,
+		LSUPorts: 8,
+	}
+}
+
+// Validate checks structural limits (thread masks are 64-bit).
+func (c Config) Validate() error {
+	if c.Cores <= 0 || c.Warps <= 0 || c.Threads <= 0 {
+		return fmt.Errorf("sim: non-positive geometry %s", c.Name())
+	}
+	if c.Threads > 64 {
+		return fmt.Errorf("sim: threads per warp %d exceeds 64 (mask width)", c.Threads)
+	}
+	if c.Lat == (Latencies{}) {
+		return fmt.Errorf("sim: zero latencies; use DefaultLatencies")
+	}
+	if c.LSUPorts < 1 {
+		return fmt.Errorf("sim: LSUPorts %d must be at least 1", c.LSUPorts)
+	}
+	return nil
+}
+
+// HP returns the hardware parallelism: total thread slots of the device
+// (Eq. 1 of the paper: hp = cores x warps x threads).
+func (c Config) HP() int { return c.Cores * c.Warps * c.Threads }
+
+// Name renders the paper's compact configuration notation, e.g. "4c8w16t".
+func (c Config) Name() string { return fmt.Sprintf("%dc%dw%dt", c.Cores, c.Warps, c.Threads) }
+
+// latencyFor returns the writeback latency of op-class lat entries; memory
+// instructions are timed by the hierarchy instead.
+func (l Latencies) max() int {
+	m := l.ALU
+	for _, v := range []int{l.Mul, l.Div, l.FAdd, l.FMul, l.FMA, l.FDiv, l.FSqrt} {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

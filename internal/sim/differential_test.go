@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/mem"
+)
+
+// TestDifferentialALURandomPrograms generates random straight-line integer
+// programs, runs them on the simulator, and checks every architectural
+// register against a direct Go evaluation of the same operations.
+func TestDifferentialALURandomPrograms(t *testing.T) {
+	ops := []struct {
+		mnem string
+		eval func(a, b uint32) uint32
+	}{
+		{"add", func(a, b uint32) uint32 { return a + b }},
+		{"sub", func(a, b uint32) uint32 { return a - b }},
+		{"and", func(a, b uint32) uint32 { return a & b }},
+		{"or", func(a, b uint32) uint32 { return a | b }},
+		{"xor", func(a, b uint32) uint32 { return a ^ b }},
+		{"sll", func(a, b uint32) uint32 { return a << (b & 31) }},
+		{"srl", func(a, b uint32) uint32 { return a >> (b & 31) }},
+		{"sra", func(a, b uint32) uint32 { return uint32(int32(a) >> (b & 31)) }},
+		{"mul", func(a, b uint32) uint32 { return a * b }},
+		{"slt", func(a, b uint32) uint32 {
+			if int32(a) < int32(b) {
+				return 1
+			}
+			return 0
+		}},
+		{"sltu", func(a, b uint32) uint32 {
+			if a < b {
+				return 1
+			}
+			return 0
+		}},
+		{"divu", func(a, b uint32) uint32 {
+			if b == 0 {
+				return ^uint32(0)
+			}
+			return a / b
+		}},
+		{"remu", func(a, b uint32) uint32 {
+			if b == 0 {
+				return a
+			}
+			return a % b
+		}},
+	}
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		// Registers x5..x15 participate; seed them with immediates.
+		shadow := [32]uint32{}
+		var b strings.Builder
+		for reg := 5; reg <= 15; reg++ {
+			v := r.Uint32() % 2048
+			shadow[reg] = v
+			fmt.Fprintf(&b, "addi x%d, zero, %d\n", reg, v)
+		}
+		for i := 0; i < 60; i++ {
+			op := ops[r.Intn(len(ops))]
+			rd := 5 + r.Intn(11)
+			rs1 := 5 + r.Intn(11)
+			rs2 := 5 + r.Intn(11)
+			fmt.Fprintf(&b, "%s x%d, x%d, x%d\n", op.mnem, rd, rs1, rs2)
+			shadow[rd] = op.eval(shadow[rs1], shadow[rs2])
+		}
+		b.WriteString("ecall\n")
+
+		cfg := DefaultConfig(1, 1, 1)
+		p, err := asm.Assemble(b.String(), 0x1000, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		memory := mem.NewMemory(1 << 16)
+		hier, err := mem.NewHierarchy(1, cfg.Mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := New(cfg, memory, hier)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.ActivateWarp(0, 0, 0x1000, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, b.String())
+		}
+		for reg := 5; reg <= 15; reg++ {
+			got, _ := s.Reg(0, 0, 0, uint8(reg))
+			if got != shadow[reg] {
+				t.Fatalf("trial %d: x%d = %#x, want %#x\n%s", trial, reg, got, shadow[reg], b.String())
+			}
+		}
+	}
+}
+
+// TestDifferentialMemoryRandomAccess drives random in-bounds loads/stores
+// against a shadow map and checks both memory contents and loaded values.
+func TestDifferentialMemoryRandomAccess(t *testing.T) {
+	r := rand.New(rand.NewSource(123))
+	const base = 0x8000
+	const words = 64
+	shadowMem := map[uint32]uint32{}
+	var shadowReg [32]uint32
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "li s0, %d\n", base)
+	shadowReg[8] = base
+	for i := 0; i < 120; i++ {
+		off := uint32(r.Intn(words)) * 4
+		reg := 5 + r.Intn(3) // t0..t2
+		if r.Intn(2) == 0 {
+			v := r.Uint32() % 2048
+			fmt.Fprintf(&b, "addi x%d, zero, %d\n", reg, v)
+			fmt.Fprintf(&b, "sw x%d, %d(s0)\n", reg, off)
+			shadowReg[reg] = v
+			shadowMem[base+off] = v
+		} else {
+			fmt.Fprintf(&b, "lw x%d, %d(s0)\n", reg, off)
+			shadowReg[reg] = shadowMem[base+off]
+		}
+	}
+	b.WriteString("ecall\n")
+
+	cfg := DefaultConfig(1, 1, 1)
+	p, err := asm.Assemble(b.String(), 0x1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := mem.NewMemory(1 << 16)
+	hier, _ := mem.NewHierarchy(1, cfg.Mem)
+	s, _ := New(cfg, memory, hier)
+	if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ActivateWarp(0, 0, 0x1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for addr, want := range shadowMem {
+		got, ok := memory.Read32(addr)
+		if !ok || got != want {
+			t.Errorf("mem[%#x] = %d, want %d", addr, got, want)
+		}
+	}
+	for reg := 5; reg <= 7; reg++ {
+		got, _ := s.Reg(0, 0, 0, uint8(reg))
+		if got != shadowReg[reg] {
+			t.Errorf("x%d = %d, want %d", reg, got, shadowReg[reg])
+		}
+	}
+}
+
+// TestTimingDeterminism runs the same program twice and expects identical
+// cycle counts and stats — the simulator must be fully deterministic.
+func TestTimingDeterminism(t *testing.T) {
+	prog := `
+		csrr t0, tid
+		slli t1, t0, 6
+		li   t2, 0x8000
+		add  t1, t1, t2
+		li   t3, 50
+	loop:
+		lw   t4, 0(t1)
+		add  t4, t4, t3
+		sw   t4, 0(t1)
+		addi t1, t1, 64
+		addi t3, t3, -1
+		bnez t3, loop
+		ecall
+	`
+	run := func() (uint64, CoreStats) {
+		cfg := DefaultConfig(2, 4, 4)
+		p := asm.MustAssemble(prog, 0x1000, nil)
+		memory := mem.NewMemory(1 << 20)
+		hier, _ := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+		s, _ := New(cfg, memory, hier)
+		s.LoadProgram(p.Base, p.Insts)
+		for c := 0; c < 2; c++ {
+			for w := 0; w < 4; w++ {
+				if err := s.ActivateWarp(c, w, 0x1000, 0xF); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return s.Cycle(), s.TotalStats()
+	}
+	c1, s1 := run()
+	c2, s2 := run()
+	if c1 != c2 {
+		t.Errorf("cycles differ: %d vs %d", c1, c2)
+	}
+	if s1 != s2 {
+		t.Errorf("stats differ:\n%+v\n%+v", s1, s2)
+	}
+}
+
+// TestLatencyHidingMonotoneInWarps checks a core property the paper's
+// technique relies on: with a memory-latency-bound workload, adding warps
+// must not slow execution down.
+func TestLatencyHidingMonotoneInWarps(t *testing.T) {
+	prog := `
+		csrr t0, wid
+		slli t0, t0, 10
+		csrr t1, tid
+		slli t1, t1, 6
+		add  t0, t0, t1
+		li   t2, 0x10000
+		add  t0, t0, t2
+		li   t3, 16
+	loop:
+		lw   t4, 0(t0)
+		addi t4, t4, 1
+		sw   t4, 0(t0)
+		addi t0, t0, 256
+		addi t3, t3, -1
+		bnez t3, loop
+		ecall
+	`
+	var prev uint64
+	for _, warps := range []int{1, 2, 4, 8} {
+		cfg := DefaultConfig(1, 8, 4)
+		p := asm.MustAssemble(prog, 0x1000, nil)
+		memory := mem.NewMemory(1 << 20)
+		hier, _ := mem.NewHierarchy(1, cfg.Mem)
+		s, _ := New(cfg, memory, hier)
+		s.LoadProgram(p.Base, p.Insts)
+		for w := 0; w < warps; w++ {
+			if err := s.ActivateWarp(0, w, 0x1000, 0xF); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		perWarp := s.Cycle() / uint64(warps)
+		if prev != 0 && perWarp > prev+prev/10 {
+			t.Errorf("%d warps: per-warp time %d regressed vs %d (no latency hiding)", warps, perWarp, prev)
+		}
+		prev = perWarp
+	}
+}

@@ -1,0 +1,102 @@
+package sim
+
+import "repro/internal/isa"
+
+// EnergyModel holds per-event energy costs in picojoules. The defaults are
+// order-of-magnitude figures for a small in-order RISC-V lane in a mature
+// planar node (derived from the usual architecture-textbook breakdowns);
+// they are meant for relative comparisons between mappings, not absolute
+// power claims.
+type EnergyModel struct {
+	IssueBase float64 // fetch/decode/schedule cost per instruction issue
+	LaneALU   float64 // per active lane, simple integer op
+	LaneMul   float64 // per active lane, integer multiply
+	LaneDiv   float64 // per active lane, integer divide
+	LaneFPU   float64 // per active lane, FP add/mul/compare/convert
+	LaneFMA   float64 // per active lane, fused multiply-add
+	LaneFDiv  float64 // per active lane, FP divide/sqrt
+	L1Access  float64 // per cache-line request reaching the L1
+	L2Access  float64 // per request reaching the L2
+	DRAMLine  float64 // per line transferred to/from DRAM
+	IdleCycle float64 // static/leakage per core-cycle with active warps
+}
+
+// DefaultEnergyModel returns the default cost table (picojoules).
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		IssueBase: 6,
+		LaneALU:   0.6,
+		LaneMul:   2.5,
+		LaneDiv:   8,
+		LaneFPU:   3,
+		LaneFMA:   5,
+		LaneFDiv:  12,
+		L1Access:  12,
+		L2Access:  40,
+		DRAMLine:  1200,
+		IdleCycle: 1.5,
+	}
+}
+
+// EnergyBreakdown accumulates consumed energy in picojoules per component.
+type EnergyBreakdown struct {
+	Issue  float64
+	Lanes  float64
+	L1     float64
+	L2     float64
+	DRAM   float64
+	Static float64
+}
+
+// Total returns the summed energy in picojoules.
+func (e EnergyBreakdown) Total() float64 {
+	return e.Issue + e.Lanes + e.L1 + e.L2 + e.DRAM + e.Static
+}
+
+// laneEnergyClass maps an op to its per-lane cost under m.
+func (m EnergyModel) laneEnergy(op isa.Op) float64 {
+	switch {
+	case op >= isa.MUL && op <= isa.MULHU:
+		return m.LaneMul
+	case op >= isa.DIV && op <= isa.REMU:
+		return m.LaneDiv
+	case op == isa.FMADDS || op == isa.FMSUBS || op == isa.FNMSUBS || op == isa.FNMADDS:
+		return m.LaneFMA
+	case op == isa.FDIVS || op == isa.FSQRTS:
+		return m.LaneFDiv
+	case op >= isa.FADDS && op <= isa.FNMADDS || op == isa.FLW || op == isa.FSW:
+		return m.LaneFPU
+	}
+	return m.LaneALU
+}
+
+// EstimateEnergy computes the energy of an execution interval from the
+// simulator's counters and memory statistics. The sim does not accumulate
+// energy online; callers snapshot CoreStats/cache stats around a launch
+// (as ocl.LaunchResult does) and evaluate the model on the deltas.
+//
+// opMix optionally refines the per-lane cost: it maps op classes observed
+// by a trace collector to lane-op counts. When nil, every lane-op is
+// charged the mean of ALU and FPU costs (a reasonable mix for the
+// benchmark kernels).
+func (m EnergyModel) EstimateEnergy(stats CoreStats, l1Accesses, l2Accesses, dramLines uint64, coreCycles uint64, opMix map[isa.Op]uint64) EnergyBreakdown {
+	var e EnergyBreakdown
+	e.Issue = float64(stats.Issued) * m.IssueBase
+	if opMix != nil {
+		var counted uint64
+		for op, lanes := range opMix {
+			e.Lanes += float64(lanes) * m.laneEnergy(op)
+			counted += lanes
+		}
+		if counted < stats.LaneOps {
+			e.Lanes += float64(stats.LaneOps-counted) * m.LaneALU
+		}
+	} else {
+		e.Lanes = float64(stats.LaneOps) * (m.LaneALU + m.LaneFPU) / 2
+	}
+	e.L1 = float64(l1Accesses) * m.L1Access
+	e.L2 = float64(l2Accesses) * m.L2Access
+	e.DRAM = float64(dramLines) * m.DRAMLine
+	e.Static = float64(coreCycles) * m.IdleCycle
+	return e
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestEnergyModelClasses(t *testing.T) {
+	m := DefaultEnergyModel()
+	if m.laneEnergy(isa.ADD) != m.LaneALU {
+		t.Error("add should cost LaneALU")
+	}
+	if m.laneEnergy(isa.MUL) != m.LaneMul {
+		t.Error("mul should cost LaneMul")
+	}
+	if m.laneEnergy(isa.DIVU) != m.LaneDiv {
+		t.Error("divu should cost LaneDiv")
+	}
+	if m.laneEnergy(isa.FMADDS) != m.LaneFMA {
+		t.Error("fmadd should cost LaneFMA")
+	}
+	if m.laneEnergy(isa.FSQRTS) != m.LaneFDiv {
+		t.Error("fsqrt should cost LaneFDiv")
+	}
+	if m.laneEnergy(isa.FADDS) != m.LaneFPU {
+		t.Error("fadd should cost LaneFPU")
+	}
+	if m.laneEnergy(isa.LW) != m.LaneALU {
+		t.Error("lw address math should cost LaneALU")
+	}
+}
+
+func TestEstimateEnergyAccumulates(t *testing.T) {
+	m := DefaultEnergyModel()
+	stats := CoreStats{Issued: 100, LaneOps: 800}
+	e := m.EstimateEnergy(stats, 50, 10, 5, 1000, nil)
+	if e.Issue != 100*m.IssueBase {
+		t.Errorf("issue = %v", e.Issue)
+	}
+	if e.Lanes != 800*(m.LaneALU+m.LaneFPU)/2 {
+		t.Errorf("lanes = %v", e.Lanes)
+	}
+	if e.L1 != 50*m.L1Access || e.L2 != 10*m.L2Access || e.DRAM != 5*m.DRAMLine {
+		t.Errorf("memory = %v %v %v", e.L1, e.L2, e.DRAM)
+	}
+	if e.Static != 1000*m.IdleCycle {
+		t.Errorf("static = %v", e.Static)
+	}
+	want := e.Issue + e.Lanes + e.L1 + e.L2 + e.DRAM + e.Static
+	if e.Total() != want {
+		t.Errorf("total = %v, want %v", e.Total(), want)
+	}
+}
+
+func TestEstimateEnergyWithOpMix(t *testing.T) {
+	m := DefaultEnergyModel()
+	stats := CoreStats{Issued: 10, LaneOps: 100}
+	mix := map[isa.Op]uint64{isa.FMADDS: 60, isa.ADD: 20}
+	e := m.EstimateEnergy(stats, 0, 0, 0, 0, mix)
+	// 60 FMA + 20 ALU counted, 20 residual lane-ops charged as ALU.
+	want := 60*m.LaneFMA + 20*m.LaneALU + 20*m.LaneALU
+	if e.Lanes != want {
+		t.Errorf("lanes = %v, want %v", e.Lanes, want)
+	}
+}
+
+func TestEnergyScalesWithWork(t *testing.T) {
+	m := DefaultEnergyModel()
+	small := m.EstimateEnergy(CoreStats{Issued: 10, LaneOps: 10}, 1, 1, 1, 10, nil)
+	big := m.EstimateEnergy(CoreStats{Issued: 100, LaneOps: 100}, 10, 10, 10, 100, nil)
+	if big.Total() != 10*small.Total() {
+		t.Errorf("energy not linear: %v vs %v", big.Total(), small.Total())
+	}
+}

@@ -1,0 +1,481 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// IssueEvent describes one instruction issue, delivered to the observer.
+type IssueEvent struct {
+	Cycle uint64
+	Core  int
+	Warp  int
+	PC    uint32
+	Mask  uint64
+	Inst  isa.Inst
+}
+
+// Trap is a fatal execution error (bad memory access, divergent branch,
+// malformed instruction, deadlock) annotated with its location.
+type Trap struct {
+	Cycle  uint64
+	Core   int
+	Warp   int
+	PC     uint32
+	Reason string
+}
+
+func (t *Trap) Error() string {
+	return fmt.Sprintf("sim: trap at cycle %d core %d warp %d pc %#x: %s", t.Cycle, t.Core, t.Warp, t.PC, t.Reason)
+}
+
+// ipdomEntry is one IPDOM divergence-stack slot. A divergence entry holds
+// the else-path lanes and their resume pc; a reconvergence entry restores
+// the pre-split mask at the join point.
+type ipdomEntry struct {
+	mask   uint64
+	pc     uint32
+	reconv bool
+}
+
+const maxIPDOMDepth = 64
+const maxBarriers = 16
+
+type warp struct {
+	active  bool
+	barWait bool
+	pc      uint32
+	tmask   uint64
+	regs    []uint32 // threads x 32 integer registers, lane-major
+	fregs   []uint32 // threads x 32 float registers (IEEE-754 bits)
+	pendI   [32]uint64
+	pendF   [32]uint64
+	ipdom   []ipdomEntry
+	last    uint64 // last issue cycle (GTO tiebreak)
+}
+
+type barrier struct {
+	arrived int
+	waiters uint64
+}
+
+// CoreStats counts per-core pipeline events.
+type CoreStats struct {
+	Issued       uint64 // instructions issued
+	LaneOps      uint64 // instruction issues x active lanes
+	Loads        uint64
+	Stores       uint64
+	LineRequests uint64 // coalesced memory line requests
+	MemStall     uint64 // cycles with active warps blocked only by memory
+	ExecStall    uint64 // cycles with active warps blocked by FU latency
+	IdleAfterEnd uint64 // cycles after the core's last warp retired
+}
+
+type simCore struct {
+	id       int
+	warps    []warp
+	rr       int
+	cur      int // GTO: warp currently owning issue priority
+	lsuFree  uint64
+	nextWake uint64
+	active   int // number of active (incl. barrier-waiting) warps
+	barriers [maxBarriers]barrier
+	blockMem bool // dominant stall reason of the last failed scan
+	stats    CoreStats
+}
+
+// Sim is one device instance. Memory and the cache hierarchy are injected
+// so their contents persist across kernel launches. The cycle counter is
+// monotonic across launches; callers measure launches as cycle deltas.
+type Sim struct {
+	cfg      Config
+	memory   *mem.Memory
+	hier     *mem.Hierarchy
+	progBase uint32
+	prog     []isa.Inst
+	meta     []instMeta
+	cores    []simCore
+	cycle    uint64
+	observer func(IssueEvent)
+
+	// NoCoalesce issues one line request per active lane (ablation A2).
+	NoCoalesce bool
+
+	fullMask uint64
+	addrBuf  []uint32
+	lineBuf  []uint32
+}
+
+// New builds a device simulator over the given memory system.
+func New(cfg Config, memory *mem.Memory, hier *mem.Hierarchy) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if memory == nil || hier == nil {
+		return nil, fmt.Errorf("sim: nil memory system")
+	}
+	s := &Sim{
+		cfg:      cfg,
+		memory:   memory,
+		hier:     hier,
+		cores:    make([]simCore, cfg.Cores),
+		fullMask: fullMask(cfg.Threads),
+		addrBuf:  make([]uint32, cfg.Threads),
+		lineBuf:  make([]uint32, 0, cfg.Threads),
+	}
+	for i := range s.cores {
+		s.cores[i].id = i
+		s.cores[i].warps = make([]warp, cfg.Warps)
+	}
+	return s, nil
+}
+
+func fullMask(threads int) uint64 {
+	if threads >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(threads)) - 1
+}
+
+// Config returns the device configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Cycle returns the monotonic device cycle counter.
+func (s *Sim) Cycle() uint64 { return s.cycle }
+
+// Memory returns the flat device memory.
+func (s *Sim) Memory() *mem.Memory { return s.memory }
+
+// Hierarchy returns the cache hierarchy.
+func (s *Sim) Hierarchy() *mem.Hierarchy { return s.hier }
+
+// SetObserver installs a per-issue callback (nil disables tracing).
+func (s *Sim) SetObserver(fn func(IssueEvent)) { s.observer = fn }
+
+// instMeta is pre-decoded scheduling metadata for one instruction, so the
+// per-cycle scoreboard checks avoid repeated predicate evaluation.
+type instMeta uint16
+
+const (
+	mReadsI1 instMeta = 1 << iota
+	mReadsI2
+	mReadsF1
+	mReadsF2
+	mReadsF3
+	mWritesI
+	mWritesF
+	mIsMem
+)
+
+func metaOf(in isa.Inst) instMeta {
+	var m instMeta
+	if in.ReadsIntRs1() {
+		m |= mReadsI1
+	}
+	if in.ReadsIntRs2() {
+		m |= mReadsI2
+	}
+	if in.ReadsFloatRs1() {
+		m |= mReadsF1
+	}
+	if in.ReadsFloatRs2() {
+		m |= mReadsF2
+	}
+	if in.ReadsFloatRs3() {
+		m |= mReadsF3
+	}
+	if in.WritesInt() {
+		m |= mWritesI
+	}
+	if in.WritesFloat() {
+		m |= mWritesF
+	}
+	if in.IsMem() {
+		m |= mIsMem
+	}
+	return m
+}
+
+// LoadProgram installs the instruction stream at base and pre-computes
+// scheduling metadata. Instruction fetch is modeled as ideal (the paper's
+// bottlenecks are issue- and data-side).
+func (s *Sim) LoadProgram(base uint32, insts []isa.Inst) error {
+	if base%4 != 0 {
+		return fmt.Errorf("sim: program base %#x misaligned", base)
+	}
+	s.progBase = base
+	s.prog = insts
+	s.meta = make([]instMeta, len(insts))
+	for i, in := range insts {
+		s.meta[i] = metaOf(in)
+	}
+	return nil
+}
+
+// ActivateWarp starts warp (core, wid) at pc with the given thread mask,
+// zeroing its register file and divergence stack.
+func (s *Sim) ActivateWarp(core, wid int, pc uint32, tmask uint64) error {
+	if core < 0 || core >= s.cfg.Cores || wid < 0 || wid >= s.cfg.Warps {
+		return fmt.Errorf("sim: warp (%d,%d) outside %s", core, wid, s.cfg.Name())
+	}
+	if tmask == 0 || tmask&^s.fullMask != 0 {
+		return fmt.Errorf("sim: bad thread mask %#x for %d threads", tmask, s.cfg.Threads)
+	}
+	c := &s.cores[core]
+	w := &c.warps[wid]
+	if w.active {
+		return fmt.Errorf("sim: warp (%d,%d) already active", core, wid)
+	}
+	s.resetWarp(w, pc, tmask)
+	c.active++
+	if c.nextWake > s.cycle {
+		c.nextWake = s.cycle
+	}
+	return nil
+}
+
+func (s *Sim) resetWarp(w *warp, pc uint32, tmask uint64) {
+	n := s.cfg.Threads * 32
+	if w.regs == nil {
+		w.regs = make([]uint32, n)
+		w.fregs = make([]uint32, n)
+	} else {
+		clear(w.regs)
+		clear(w.fregs)
+	}
+	w.pendI = [32]uint64{}
+	w.pendF = [32]uint64{}
+	w.ipdom = w.ipdom[:0]
+	w.active = true
+	w.barWait = false
+	w.pc = pc
+	w.tmask = tmask
+}
+
+// ActiveWarps returns the number of active warps across all cores.
+func (s *Sim) ActiveWarps() int {
+	n := 0
+	for i := range s.cores {
+		n += s.cores[i].active
+	}
+	return n
+}
+
+// CoreStatsOf returns a copy of core's counters.
+func (s *Sim) CoreStatsOf(core int) CoreStats { return s.cores[core].stats }
+
+// TotalStats sums counters over cores.
+func (s *Sim) TotalStats() CoreStats {
+	var t CoreStats
+	for i := range s.cores {
+		cs := &s.cores[i].stats
+		t.Issued += cs.Issued
+		t.LaneOps += cs.LaneOps
+		t.Loads += cs.Loads
+		t.Stores += cs.Stores
+		t.LineRequests += cs.LineRequests
+		t.MemStall += cs.MemStall
+		t.ExecStall += cs.ExecStall
+		t.IdleAfterEnd += cs.IdleAfterEnd
+	}
+	return t
+}
+
+const noWake = ^uint64(0)
+
+// Run executes until every warp has retired. It returns a *Trap on
+// execution errors and a deadline error if MaxCycles is exceeded.
+func (s *Sim) Run() error {
+	limit := s.cfg.MaxCycles
+	if limit == 0 {
+		limit = 1 << 40
+	}
+	deadline := s.cycle + limit
+	for {
+		anyActive := false
+		issuedAny := false
+		minWake := noWake
+		for i := range s.cores {
+			c := &s.cores[i]
+			if c.active == 0 {
+				continue
+			}
+			anyActive = true
+			if c.nextWake > s.cycle {
+				if c.nextWake < minWake {
+					minWake = c.nextWake
+				}
+				s.accountStall(c, 1)
+				continue
+			}
+			issued, wake, err := s.issueOne(c)
+			if err != nil {
+				return err
+			}
+			if issued {
+				issuedAny = true
+				c.nextWake = s.cycle + 1
+			} else {
+				c.nextWake = wake
+				if wake < minWake {
+					minWake = wake
+				}
+				s.accountStall(c, 1)
+			}
+		}
+		if !anyActive {
+			return nil
+		}
+		if issuedAny {
+			s.cycle++
+		} else {
+			if minWake == noWake {
+				return s.deadlockTrap()
+			}
+			// Jump to the next event; attribute the skipped cycles to the
+			// same stall reasons (each stalled core already got 1 above).
+			delta := minWake - s.cycle
+			if delta > 1 {
+				for i := range s.cores {
+					c := &s.cores[i]
+					if c.active > 0 {
+						s.accountStall(c, delta-1)
+					}
+				}
+			}
+			s.cycle = minWake
+		}
+		if s.cycle > deadline {
+			return fmt.Errorf("sim: exceeded cycle limit %d on %s", limit, s.cfg.Name())
+		}
+	}
+}
+
+func (s *Sim) accountStall(c *simCore, n uint64) {
+	if c.blockMem {
+		c.stats.MemStall += n
+	} else {
+		c.stats.ExecStall += n
+	}
+}
+
+func (s *Sim) deadlockTrap() error {
+	for i := range s.cores {
+		c := &s.cores[i]
+		for wid := range c.warps {
+			w := &c.warps[wid]
+			if w.active && w.barWait {
+				return &Trap{Cycle: s.cycle, Core: i, Warp: wid, PC: w.pc,
+					Reason: "deadlock: warp waiting on a barrier that can never fill"}
+			}
+		}
+	}
+	return &Trap{Cycle: s.cycle, Reason: "deadlock: active warps but no schedulable event"}
+}
+
+// issueOne attempts to issue one instruction on core c at the current
+// cycle. It returns whether an instruction issued and, if not, the earliest
+// cycle at which the core might become ready.
+func (s *Sim) issueOne(c *simCore) (bool, uint64, error) {
+	n := len(c.warps)
+	wake := noWake
+	blockMem := false
+	gto := s.cfg.Sched == SchedGTO
+	start := c.rr
+	if gto {
+		start = c.cur
+	}
+	maxFU := uint64(s.cfg.Lat.max())
+
+	for k := 0; k < n; k++ {
+		wid := start + k
+		if wid >= n {
+			wid -= n
+		}
+		w := &c.warps[wid]
+		if !w.active || w.barWait {
+			continue
+		}
+		if w.pc < s.progBase || w.pc-s.progBase >= uint32(len(s.prog))*4 || w.pc%4 != 0 {
+			return false, 0, &Trap{Cycle: s.cycle, Core: c.id, Warp: wid, PC: w.pc, Reason: "instruction fetch outside program"}
+		}
+		idx := (w.pc - s.progBase) / 4
+		in := s.prog[idx]
+		if in.Op == isa.OpInvalid {
+			return false, 0, &Trap{Cycle: s.cycle, Core: c.id, Warp: wid, PC: w.pc, Reason: "executed data word / invalid instruction"}
+		}
+		m := s.meta[idx]
+		// Scoreboard: all read and written registers must be ready.
+		if ready := regsReadyAt(w, in, m); ready > s.cycle {
+			if ready < wake {
+				wake = ready
+				blockMem = m&mIsMem != 0 || ready > s.cycle+maxFU
+			} else if ready > s.cycle+maxFU {
+				blockMem = true
+			}
+			continue
+		}
+		// Structural hazard: the LSU accepts one memory instruction at a
+		// time (it streams line requests at 1/cycle).
+		if m&mIsMem != 0 && c.lsuFree > s.cycle {
+			if c.lsuFree < wake {
+				wake = c.lsuFree
+				blockMem = true
+			}
+			continue
+		}
+		if err := s.execute(c, wid, w, in); err != nil {
+			return false, 0, err
+		}
+		w.last = s.cycle
+		if gto {
+			c.cur = wid
+		} else {
+			c.rr = wid + 1
+			if c.rr >= n {
+				c.rr = 0
+			}
+		}
+		return true, 0, nil
+	}
+	if wake == noWake {
+		// Only barrier-waiting warps (or none runnable): no timed event.
+		c.blockMem = false
+		return false, noWake, nil
+	}
+	c.blockMem = blockMem
+	if wake <= s.cycle {
+		wake = s.cycle + 1
+	}
+	return false, wake, nil
+}
+
+// regsReadyAt returns the earliest cycle all registers read or written by
+// in are free (max of their pending completions).
+func regsReadyAt(w *warp, in isa.Inst, m instMeta) uint64 {
+	var ready uint64
+	if m&mReadsI1 != 0 && w.pendI[in.Rs1] > ready {
+		ready = w.pendI[in.Rs1]
+	}
+	if m&mReadsI2 != 0 && w.pendI[in.Rs2] > ready {
+		ready = w.pendI[in.Rs2]
+	}
+	if m&mReadsF1 != 0 && w.pendF[in.Rs1] > ready {
+		ready = w.pendF[in.Rs1]
+	}
+	if m&mReadsF2 != 0 && w.pendF[in.Rs2] > ready {
+		ready = w.pendF[in.Rs2]
+	}
+	if m&mReadsF3 != 0 && w.pendF[in.Rs3] > ready {
+		ready = w.pendF[in.Rs3]
+	}
+	if m&mWritesI != 0 && w.pendI[in.Rd] > ready {
+		ready = w.pendI[in.Rd]
+	}
+	if m&mWritesF != 0 && w.pendF[in.Rd] > ready {
+		ready = w.pendF[in.Rd]
+	}
+	return ready
+}

@@ -1,0 +1,119 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// ViolinOptions controls ASCII violin rendering.
+type ViolinOptions struct {
+	// Rows is the number of value bins on the vertical axis (default 17).
+	Rows int
+	// HalfWidth is the maximum bar half-width in characters (default 20).
+	HalfWidth int
+	// Lo, Hi clip the value axis; Hi <= Lo auto-ranges to the data capped
+	// at Cap (Figure 2 omits results > 4 "for better visual
+	// representation").
+	Lo, Hi float64
+	// Cap bounds auto-ranging (default 4, like the paper).
+	Cap float64
+}
+
+// RenderViolin draws one vertical-axis violin of samples: each row is a
+// value bin, with a centered bar whose width is proportional to the
+// estimated density. A marker row at value 1.0 mirrors the bold red
+// baseline of Figure 2.
+func RenderViolin(w io.Writer, title string, samples []float64, opts ViolinOptions) error {
+	rows := opts.Rows
+	if rows <= 0 {
+		rows = 17
+	}
+	half := opts.HalfWidth
+	if half <= 0 {
+		half = 20
+	}
+	capv := opts.Cap
+	if capv <= 0 {
+		capv = 4
+	}
+	if len(samples) == 0 {
+		_, err := fmt.Fprintf(w, "%s: (no samples)\n", title)
+		return err
+	}
+	lo, hi := opts.Lo, opts.Hi
+	if hi <= lo {
+		lo, hi = Min(samples), Max(samples)
+		if hi > capv {
+			hi = capv
+		}
+		if lo > 1 {
+			lo = math.Max(0, lo-0.1)
+		}
+		if lo >= hi {
+			lo, hi = lo-0.5, hi+0.5
+		}
+		// Always include the ratio-1 baseline in view.
+		if lo > 0.9 {
+			lo = 0.9
+		}
+		if hi < 1.1 {
+			hi = 1.1
+		}
+	}
+	clipped := 0
+	var inRange []float64
+	for _, s := range samples {
+		if s > hi {
+			clipped++
+			continue
+		}
+		inRange = append(inRange, s)
+	}
+	if len(inRange) == 0 {
+		inRange = samples[:1]
+	}
+	_, ys := KDE(inRange, rows, lo, hi, 0)
+	peak := Max(ys)
+	if peak == 0 {
+		peak = 1
+	}
+	sum := SummarizeRatios(samples)
+	if _, err := fmt.Fprintf(w, "%s  (n=%d, %s)\n", title, sum.N, sum); err != nil {
+		return err
+	}
+	// Render top (hi) to bottom (lo).
+	oneRow := int(math.Round((1.0 - lo) / (hi - lo) * float64(rows-1)))
+	for i := rows - 1; i >= 0; i-- {
+		v := lo + (hi-lo)*float64(i)/float64(rows-1)
+		width := int(math.Round(ys[i] / peak * float64(half)))
+		bar := strings.Repeat(" ", half-width) + strings.Repeat("#", 2*width)
+		pad := strings.Repeat(" ", 2*half-len(bar))
+		marker := " "
+		if i == oneRow {
+			marker = "<" // the ratio-1 baseline
+		}
+		if _, err := fmt.Fprintf(w, "%6.2f |%s%s| %s\n", v, bar, pad, marker); err != nil {
+			return err
+		}
+	}
+	if clipped > 0 {
+		if _, err := fmt.Fprintf(w, "        (%d results > %.1f omitted)\n", clipped, hi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderViolinPair draws the two Figure 2 distributions of one kernel side
+// by side textually: baseline-vs-ours ratios for lws=1 and lws=32.
+func RenderViolinPair(w io.Writer, kernel string, naive, fixed []float64, opts ViolinOptions) error {
+	if _, err := fmt.Fprintf(w, "=== %s ===\n", kernel); err != nil {
+		return err
+	}
+	if err := RenderViolin(w, "lws=1 / ours", naive, opts); err != nil {
+		return err
+	}
+	return RenderViolin(w, "lws=32 / ours", fixed, opts)
+}

@@ -1,0 +1,84 @@
+package sweep
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ReadCSV parses records previously written by WriteCSV, so committed
+// sweep results can be re-analyzed and re-plotted without re-simulating.
+// It accepts both current files and older ones without the energy column.
+func ReadCSV(r io.Reader) (*Results, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("sweep: empty CSV")
+	}
+	header := strings.Split(strings.TrimSpace(sc.Text()), ",")
+	col := map[string]int{}
+	for i, name := range header {
+		col[name] = i
+	}
+	for _, required := range []string{"config", "kernel", "mapper", "lws", "cycles"} {
+		if _, ok := col[required]; !ok {
+			return nil, fmt.Errorf("sweep: CSV missing column %q", required)
+		}
+	}
+	res := &Results{}
+	lineNo := 1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		f := strings.Split(line, ",")
+		if len(f) < len(header) {
+			return nil, fmt.Errorf("sweep: line %d has %d fields, want %d", lineNo, len(f), len(header))
+		}
+		get := func(name string) string {
+			if i, ok := col[name]; ok {
+				return f[i]
+			}
+			return ""
+		}
+		hw, err := core.ParseName(get("config"))
+		if err != nil {
+			return nil, fmt.Errorf("sweep: line %d: %w", lineNo, err)
+		}
+		rec := Record{
+			Config: hw,
+			Kernel: get("kernel"),
+			Mapper: get("mapper"),
+			Err:    get("err"),
+		}
+		if rec.LWS, err = strconv.Atoi(get("lws")); err != nil {
+			return nil, fmt.Errorf("sweep: line %d: lws: %w", lineNo, err)
+		}
+		if rec.Cycles, err = strconv.ParseUint(get("cycles"), 10, 64); err != nil {
+			return nil, fmt.Errorf("sweep: line %d: cycles: %w", lineNo, err)
+		}
+		if v := get("instrs"); v != "" {
+			rec.Instrs, _ = strconv.ParseUint(v, 10, 64)
+		}
+		if v := get("mem_stall"); v != "" {
+			rec.MemStall, _ = strconv.ParseUint(v, 10, 64)
+		}
+		if v := get("exec_stall"); v != "" {
+			rec.ExecStall, _ = strconv.ParseUint(v, 10, 64)
+		}
+		if v := get("energy_pj"); v != "" {
+			rec.EnergyPJ, _ = strconv.ParseFloat(v, 64)
+		}
+		res.Records = append(res.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,234 @@
+// Package sweep runs the paper's validation campaign: every benchmark
+// kernel under several lws mappers across a grid of 450 hardware
+// configurations (1c2w2t … 64c32w32t), producing the latency-ratio
+// distributions, violin plots and data tables of Figure 2 and the headline
+// aggregate speedups of Section 3.
+package sweep
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/ocl"
+	"repro/internal/sim"
+)
+
+// gridCores spans 1..64 cores over 18 values so that the full grid is
+// exactly 18 x 5 x 5 = 450 configurations, matching the count and corner
+// points (1c2w2t, 64c32w32t) the paper reports. The paper does not list
+// its grid; see DESIGN.md.
+var gridCores = []int{1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32, 40, 48, 56, 60, 64}
+var gridWarps = []int{2, 4, 8, 16, 32}
+var gridThreads = []int{2, 4, 8, 16, 32}
+
+// Grid returns the 450-configuration sweep grid.
+func Grid() []core.HWInfo {
+	out := make([]core.HWInfo, 0, len(gridCores)*len(gridWarps)*len(gridThreads))
+	for _, c := range gridCores {
+		for _, w := range gridWarps {
+			for _, t := range gridThreads {
+				out = append(out, core.HWInfo{Cores: c, Warps: w, Threads: t})
+			}
+		}
+	}
+	return out
+}
+
+// Subsample deterministically picks n configurations spread over the whole
+// grid. A strided pick would alias with the grid's inner dimensions (the
+// threads axis cycles every 5 entries), so a fixed-seed shuffle selects the
+// subset and the result is returned in grid order. n <= 0 or
+// n >= len(grid) returns the grid unchanged.
+func Subsample(grid []core.HWInfo, n int) []core.HWInfo {
+	if n <= 0 || n >= len(grid) {
+		return grid
+	}
+	perm := rand.New(rand.NewSource(12345)).Perm(len(grid))
+	idx := append([]int(nil), perm[:n]...)
+	sort.Ints(idx)
+	out := make([]core.HWInfo, 0, n)
+	for _, i := range idx {
+		out = append(out, grid[i])
+	}
+	return out
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Configs defaults to the full 450-point Grid().
+	Configs []core.HWInfo
+	// Kernels defaults to every kernel in the registry.
+	Kernels []string
+	// Mappers defaults to the paper's three: lws=1, lws=32, ours.
+	Mappers []core.Mapper
+	// Scale is the workload scale factor (1.0 = paper sizes).
+	Scale float64
+	// Seed drives input generation (shared by all runs of a kernel so
+	// ratios compare identical work).
+	Seed int64
+	// Verify checks device output against the CPU reference on every run
+	// (slower; sweeps over many configs usually verify in tests instead).
+	Verify bool
+	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
+	Workers int
+	// Progress, if non-nil, is called after each completed run.
+	Progress func(done, total int)
+	// ConfigTemplate customizes the non-geometry simulator parameters
+	// (memory hierarchy, latencies, scheduler); nil uses defaults.
+	ConfigTemplate func(hw core.HWInfo) sim.Config
+	// DispatchOverhead overrides the per-launch driver cost in cycles;
+	// negative keeps the runtime default.
+	DispatchOverhead int64
+	// NoCoalesce disables the memory coalescer (ablation A2).
+	NoCoalesce bool
+}
+
+func (o *Options) fill() {
+	if o.Configs == nil {
+		o.Configs = Grid()
+	}
+	if o.Kernels == nil {
+		o.Kernels = kernels.Names()
+	}
+	if o.Mappers == nil {
+		o.Mappers = []core.Mapper{core.Naive{}, core.Fixed{N: 32}, core.Auto{}}
+	}
+	if o.Scale <= 0 {
+		o.Scale = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.DispatchOverhead < 0 {
+		o.DispatchOverhead = -1
+	}
+}
+
+// Record is one (config, kernel, mapper) simulation outcome.
+type Record struct {
+	Config      core.HWInfo
+	Kernel      string
+	Mapper      string
+	LWS         int // of the first launch
+	Cycles      uint64
+	Instrs      uint64
+	MemStall    uint64
+	ExecStall   uint64
+	EnergyPJ    float64 // summed launch energy estimate (picojoules)
+	Boundedness core.Boundedness
+	Err         string // non-empty if this run failed
+}
+
+// Results holds a completed sweep.
+type Results struct {
+	Options Options
+	Records []Record
+}
+
+// Run executes the sweep.
+func Run(opts Options) (*Results, error) {
+	opts.fill()
+	type task struct {
+		idx    int
+		hw     core.HWInfo
+		kernel string
+		mapper core.Mapper
+	}
+	var tasks []task
+	for _, hw := range opts.Configs {
+		for _, kname := range opts.Kernels {
+			for _, m := range opts.Mappers {
+				tasks = append(tasks, task{idx: len(tasks), hw: hw, kernel: kname, mapper: m})
+			}
+		}
+	}
+	records := make([]Record, len(tasks))
+
+	var wg sync.WaitGroup
+	ch := make(chan task)
+	var mu sync.Mutex
+	done := 0
+	for w := 0; w < opts.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range ch {
+				records[tk.idx] = runOne(opts, tk.hw, tk.kernel, tk.mapper)
+				if opts.Progress != nil {
+					mu.Lock()
+					done++
+					opts.Progress(done, len(tasks))
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
+
+	res := &Results{Options: opts, Records: records}
+	for _, r := range records {
+		if r.Err != "" {
+			return res, fmt.Errorf("sweep: %s/%s on %s: %s", r.Kernel, r.Mapper, r.Config.Name(), r.Err)
+		}
+	}
+	return res, nil
+}
+
+func runOne(opts Options, hw core.HWInfo, kname string, mapper core.Mapper) Record {
+	rec := Record{Config: hw, Kernel: kname, Mapper: mapper.Name()}
+	spec, err := kernels.ByName(kname)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	var cfg sim.Config
+	if opts.ConfigTemplate != nil {
+		cfg = opts.ConfigTemplate(hw)
+	} else {
+		cfg = sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
+	}
+	d, err := ocl.NewDevice(cfg)
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	if opts.DispatchOverhead >= 0 {
+		d.DispatchOverhead = uint64(opts.DispatchOverhead)
+	}
+	d.Sim().NoCoalesce = opts.NoCoalesce
+	d.SetMapper(mapper)
+	c, err := spec.Build(d, kernels.Params{Scale: opts.Scale, Seed: opts.Seed})
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	var res *kernels.Result
+	if opts.Verify {
+		res, err = c.RunVerified(d, 0)
+	} else {
+		res, err = c.Run(d, 0)
+	}
+	if err != nil {
+		rec.Err = err.Error()
+		return rec
+	}
+	rec.Cycles = res.Cycles
+	rec.LWS = res.Launches[0].LWS
+	for _, l := range res.Launches {
+		rec.Instrs += l.Stats.Issued
+		rec.MemStall += l.Stats.MemStall
+		rec.ExecStall += l.Stats.ExecStall
+		rec.EnergyPJ += l.Energy.Total()
+	}
+	rec.Boundedness = core.Classify(rec.MemStall, rec.ExecStall, rec.Cycles*uint64(hw.Cores))
+	return rec
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// OccupancyPoint is one time bin of an occupancy timeline.
+type OccupancyPoint struct {
+	StartCycle uint64
+	Issues     uint64  // instruction issues in the bin
+	Warps      int     // distinct (core, warp) pairs that issued
+	MeanLanes  float64 // mean active lanes per issue in the bin
+}
+
+// Occupancy computes a timeline of warp- and lane-level occupancy over
+// bins time bins. It quantifies what the Figure 1 plots show visually:
+// how many warps are in flight and how full their thread masks are as the
+// execution progresses through its batches.
+func (c *Collector) Occupancy(bins int) []OccupancyPoint {
+	if bins <= 0 || len(c.Records) == 0 {
+		return nil
+	}
+	first, last := c.Span()
+	span := last - first + 1
+	out := make([]OccupancyPoint, bins)
+	warpSets := make([]map[[2]int]bool, bins)
+	var lanes = make([]uint64, bins)
+	for i := range out {
+		out[i].StartCycle = first + span*uint64(i)/uint64(bins)
+		warpSets[i] = map[[2]int]bool{}
+	}
+	for _, r := range c.Records {
+		b := int((r.Cycle - first) * uint64(bins) / span)
+		if b >= bins {
+			b = bins - 1
+		}
+		out[b].Issues++
+		warpSets[b][[2]int{r.Core, r.Warp}] = true
+		lanes[b] += uint64(popcount(r.Mask))
+	}
+	for i := range out {
+		out[i].Warps = len(warpSets[i])
+		if out[i].Issues > 0 {
+			out[i].MeanLanes = float64(lanes[i]) / float64(out[i].Issues)
+		}
+	}
+	return out
+}
+
+// SIMDEfficiency returns the fraction of lane slots used across all
+// issues, given the warp width (threads per warp): mean active lanes
+// divided by the warp width.
+func (c *Collector) SIMDEfficiency(threads int) float64 {
+	if threads <= 0 || len(c.Records) == 0 {
+		return 0
+	}
+	var lanes, issues uint64
+	for _, r := range c.Records {
+		lanes += uint64(popcount(r.Mask))
+		issues++
+	}
+	return float64(lanes) / float64(issues) / float64(threads)
+}
+
+// IssueUtilization returns issues / (span x cores): the fraction of issue
+// slots used over the traced interval on the cores that appear in the
+// trace.
+func (c *Collector) IssueUtilization() float64 {
+	if len(c.Records) == 0 {
+		return 0
+	}
+	first, last := c.Span()
+	cores := map[int]bool{}
+	for _, r := range c.Records {
+		cores[r.Core] = true
+	}
+	return float64(len(c.Records)) / float64(last-first+1) / float64(len(cores))
+}
+
+// RenderOccupancy draws the warp-occupancy timeline as a compact bar
+// sparkline, one character per bin (space = idle bin, '9'/'+' = 9 or more
+// warps in flight).
+func (c *Collector) RenderOccupancy(w io.Writer, bins int) error {
+	points := c.Occupancy(bins)
+	if points == nil {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	var b strings.Builder
+	for _, p := range points {
+		switch {
+		case p.Issues == 0:
+			b.WriteByte(' ')
+		case p.Warps > 9:
+			b.WriteByte('+')
+		default:
+			b.WriteByte(byte('0' + p.Warps))
+		}
+	}
+	if _, err := fmt.Fprintf(w, "warps in flight |%s|\n", b.String()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "issue util %.1f%%, SIMD lanes/issue %.2f\n",
+		c.IssueUtilization()*100, c.Summarize().MeanLanes)
+	return err
+}

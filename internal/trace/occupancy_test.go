@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func occCollector() *Collector {
+	c := NewCollector(nil)
+	// Two warps active in the first half, one in the second.
+	for cyc := uint64(0); cyc < 50; cyc += 2 {
+		c.Observe(event(cyc, [2]int{0, 0}, 0x10, 0b1111))
+		c.Observe(event(cyc+1, [2]int{0, 1}, 0x10, 0b0011))
+	}
+	for cyc := uint64(50); cyc < 100; cyc += 2 {
+		c.Observe(event(cyc, [2]int{0, 0}, 0x10, 0b1111))
+	}
+	return c
+}
+
+func TestOccupancyTimeline(t *testing.T) {
+	c := occCollector()
+	pts := c.Occupancy(4)
+	if len(pts) != 4 {
+		t.Fatalf("bins = %d", len(pts))
+	}
+	// First two bins: 2 warps each; last two: 1 warp.
+	if pts[0].Warps != 2 || pts[1].Warps != 2 {
+		t.Errorf("early bins warps = %d, %d, want 2", pts[0].Warps, pts[1].Warps)
+	}
+	if pts[2].Warps != 1 || pts[3].Warps != 1 {
+		t.Errorf("late bins warps = %d, %d, want 1", pts[2].Warps, pts[3].Warps)
+	}
+	// First half mixes 4-lane and 2-lane issues: mean ~3 (bin boundaries
+	// shift the mix slightly).
+	if pts[0].MeanLanes < 2.8 || pts[0].MeanLanes > 3.2 {
+		t.Errorf("bin 0 mean lanes = %v, want ~3", pts[0].MeanLanes)
+	}
+	if pts[3].MeanLanes != 4 {
+		t.Errorf("bin 3 mean lanes = %v", pts[3].MeanLanes)
+	}
+	if got := c.Occupancy(0); got != nil {
+		t.Error("bins=0 should return nil")
+	}
+	if got := NewCollector(nil).Occupancy(4); got != nil {
+		t.Error("empty trace should return nil")
+	}
+}
+
+func TestSIMDEfficiency(t *testing.T) {
+	c := NewCollector(nil)
+	c.Observe(event(0, [2]int{0, 0}, 0, 0b1111)) // 4 lanes
+	c.Observe(event(1, [2]int{0, 0}, 0, 0b0001)) // 1 lane
+	// (4+1)/2 issues / 4 threads = 0.625
+	if got := c.SIMDEfficiency(4); got != 0.625 {
+		t.Errorf("efficiency = %v", got)
+	}
+	if NewCollector(nil).SIMDEfficiency(4) != 0 {
+		t.Error("empty trace efficiency != 0")
+	}
+	if c.SIMDEfficiency(0) != 0 {
+		t.Error("threads=0 efficiency != 0")
+	}
+}
+
+func TestIssueUtilization(t *testing.T) {
+	c := NewCollector(nil)
+	// 5 issues spanning cycles 0..8 on one core: 5/9.
+	for cyc := uint64(0); cyc < 10; cyc += 2 {
+		c.Observe(event(cyc, [2]int{0, 0}, 0, 1))
+	}
+	if got := c.IssueUtilization(); got < 5.0/9-1e-9 || got > 5.0/9+1e-9 {
+		t.Errorf("utilization = %v, want %v", got, 5.0/9)
+	}
+}
+
+func TestRenderOccupancy(t *testing.T) {
+	c := occCollector()
+	var buf bytes.Buffer
+	if err := c.RenderOccupancy(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "warps in flight |") {
+		t.Errorf("missing timeline:\n%s", out)
+	}
+	if !strings.Contains(out, "issue util") {
+		t.Errorf("missing summary:\n%s", out)
+	}
+	// The first half should show '2', the second '1'.
+	bar := out[strings.Index(out, "|")+1:]
+	if !strings.Contains(bar[:5], "2") || !strings.Contains(bar[5:10], "1") {
+		t.Errorf("unexpected bar %q", bar[:10])
+	}
+	buf.Reset()
+	if err := NewCollector(nil).RenderOccupancy(&buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty trace not labeled")
+	}
+}

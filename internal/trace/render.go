@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderOptions controls the ASCII waveform rendering.
+type RenderOptions struct {
+	// Width is the number of time bins (columns); 0 means 100.
+	Width int
+	// ShowMask appends a per-warp average active-lane column.
+	ShowMask bool
+}
+
+// RenderWaveform draws a Figure-1-style plot: one row per (core, warp),
+// time on the x axis, one glyph per bin showing the dominant semantic
+// section issued in that bin ('.' = no issue). A legend maps glyphs to
+// section names.
+func (c *Collector) RenderWaveform(w io.Writer, opts RenderOptions) error {
+	width := opts.Width
+	if width <= 0 {
+		width = 100
+	}
+	if len(c.Records) == 0 {
+		_, err := fmt.Fprintln(w, "(empty trace)")
+		return err
+	}
+	first, last := c.Span()
+	span := last - first + 1
+	binOf := func(cycle uint64) int {
+		b := int((cycle - first) * uint64(width) / span)
+		if b >= width {
+			b = width - 1
+		}
+		return b
+	}
+
+	// Assign one glyph per tag, in tag-table order.
+	glyphs := "BWSLbwsligxyz*+=~^"
+	tagGlyph := map[uint8]byte{}
+	next := 0
+	for i := range c.tags {
+		if i == 0 {
+			continue // untagged renders as '#'
+		}
+		if next < len(glyphs) {
+			tagGlyph[uint8(i)] = glyphs[next]
+			next++
+		} else {
+			tagGlyph[uint8(i)] = '?'
+		}
+	}
+
+	warps := c.sortedWarps()
+	// counts[warpIdx][bin][tag] -> issues
+	rows := make([]map[int]map[uint8]int, len(warps))
+	lanes := make([]uint64, len(warps))
+	issues := make([]uint64, len(warps))
+	warpIdx := map[[2]int]int{}
+	for i, cw := range warps {
+		warpIdx[cw] = i
+		rows[i] = map[int]map[uint8]int{}
+	}
+	for _, r := range c.Records {
+		i := warpIdx[[2]int{r.Core, r.Warp}]
+		b := binOf(r.Cycle)
+		if rows[i][b] == nil {
+			rows[i][b] = map[uint8]int{}
+		}
+		rows[i][b][r.Tag]++
+		lanes[i] += uint64(popcount(r.Mask))
+		issues[i]++
+	}
+
+	fmt.Fprintf(w, "cycles %d..%d (%d cycles, %d issues)\n", first, last, span, len(c.Records))
+	for i, cw := range warps {
+		var b strings.Builder
+		for bin := 0; bin < width; bin++ {
+			tags := rows[i][bin]
+			if len(tags) == 0 {
+				b.WriteByte('.')
+				continue
+			}
+			// Dominant tag in the bin.
+			bestTag, bestN := uint8(0), -1
+			for tag, n := range tags {
+				if n > bestN || (n == bestN && tag < bestTag) {
+					bestTag, bestN = tag, n
+				}
+			}
+			g, ok := tagGlyph[bestTag]
+			if !ok {
+				g = '#'
+			}
+			b.WriteByte(g)
+		}
+		line := fmt.Sprintf("c%02dw%02d |%s|", cw[0], cw[1], b.String())
+		if opts.ShowMask && issues[i] > 0 {
+			line += fmt.Sprintf("  avg lanes %.1f", float64(lanes[i])/float64(issues[i]))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	// Legend.
+	var legend []string
+	for i, name := range c.tags {
+		if i == 0 || name == "" {
+			continue
+		}
+		legend = append(legend, fmt.Sprintf("%c=%s", tagGlyph[uint8(i)], name))
+	}
+	if len(legend) > 0 {
+		if _, err := fmt.Fprintf(w, "legend: %s  .=idle\n", strings.Join(legend, " ")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderIssueTable writes a human-readable listing of every record,
+// matching the per-issue detail of the paper's Figure 1 plots (timestamp,
+// warp, PC, thread mask, section). limit <= 0 prints everything.
+func (c *Collector) RenderIssueTable(w io.Writer, limit int) error {
+	if _, err := fmt.Fprintf(w, "%-10s %-5s %-5s %-10s %-10s %-10s %s\n",
+		"cycle", "core", "warp", "pc", "mask", "op", "section"); err != nil {
+		return err
+	}
+	n := len(c.Records)
+	if limit > 0 && limit < n {
+		n = limit
+	}
+	for _, r := range c.Records[:n] {
+		_, err := fmt.Fprintf(w, "%-10d %-5d %-5d %-10s %-10s %-10s %s\n",
+			r.Cycle, r.Core, r.Warp,
+			fmt.Sprintf("%#x", r.PC), fmt.Sprintf("%#x", r.Mask),
+			r.Op.String(), c.TagName(r.Tag))
+		if err != nil {
+			return err
+		}
+	}
+	if n < len(c.Records) {
+		_, err := fmt.Fprintf(w, "... %d more records\n", len(c.Records)-n)
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package trace records per-issue execution traces from the simulator and
+// renders them in the style of the paper's Figure 1: per-warp instruction
+// wavefronts over time, tagged with semantic code sections (spawn loop,
+// workgroup loop, kernel body, ...), plus the PC and active thread mask of
+// every issue.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+// Record is one instruction issue.
+type Record struct {
+	Cycle uint64
+	Core  int
+	Warp  int
+	PC    uint32
+	Mask  uint64
+	Op    isa.Op
+	Tag   uint8 // index into the collector's tag table
+}
+
+// Collector accumulates issue records. Install Observe as the simulator's
+// observer. The zero Collector is not usable; call NewCollector.
+type Collector struct {
+	tagger  func(uint32) string
+	tags    []string
+	tagIdx  map[string]uint8
+	Records []Record
+}
+
+// NewCollector builds a collector; tagger maps a pc to its semantic section
+// name (typically asm.Program.TagAt) and may be nil.
+func NewCollector(tagger func(uint32) string) *Collector {
+	c := &Collector{tagger: tagger, tagIdx: map[string]uint8{}}
+	c.internTag("") // index 0: untagged
+	return c
+}
+
+func (c *Collector) internTag(name string) uint8 {
+	if i, ok := c.tagIdx[name]; ok {
+		return i
+	}
+	if len(c.tags) >= 255 {
+		return 0
+	}
+	i := uint8(len(c.tags))
+	c.tags = append(c.tags, name)
+	c.tagIdx[name] = i
+	return i
+}
+
+// Observe is the sim.Sim observer callback.
+func (c *Collector) Observe(e sim.IssueEvent) {
+	var tag uint8
+	if c.tagger != nil {
+		tag = c.internTag(c.tagger(e.PC))
+	}
+	c.Records = append(c.Records, Record{
+		Cycle: e.Cycle, Core: e.Core, Warp: e.Warp,
+		PC: e.PC, Mask: e.Mask, Op: e.Inst.Op, Tag: tag,
+	})
+}
+
+// Reset drops accumulated records but keeps the tag table.
+func (c *Collector) Reset() { c.Records = c.Records[:0] }
+
+// TagName resolves a record's tag index.
+func (c *Collector) TagName(i uint8) string {
+	if int(i) < len(c.tags) {
+		return c.tags[i]
+	}
+	return ""
+}
+
+// Tags returns the interned tag names (index 0 is the empty tag).
+func (c *Collector) Tags() []string { return append([]string(nil), c.tags...) }
+
+// Span returns the first and last issue cycles (0,0 for an empty trace).
+func (c *Collector) Span() (first, last uint64) {
+	if len(c.Records) == 0 {
+		return 0, 0
+	}
+	first = c.Records[0].Cycle
+	last = c.Records[0].Cycle
+	for _, r := range c.Records {
+		if r.Cycle < first {
+			first = r.Cycle
+		}
+		if r.Cycle > last {
+			last = r.Cycle
+		}
+	}
+	return first, last
+}
+
+// WriteCSV emits "cycle,core,warp,pc,mask,op,tag" rows.
+func (c *Collector) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "cycle,core,warp,pc,mask,op,tag"); err != nil {
+		return err
+	}
+	for _, r := range c.Records {
+		_, err := fmt.Fprintf(w, "%d,%d,%d,0x%x,0x%x,%s,%s\n",
+			r.Cycle, r.Core, r.Warp, r.PC, r.Mask, r.Op, c.TagName(r.Tag))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonRecord is the JSONL wire format.
+type jsonRecord struct {
+	Cycle uint64 `json:"cycle"`
+	Core  int    `json:"core"`
+	Warp  int    `json:"warp"`
+	PC    string `json:"pc"`
+	Mask  string `json:"mask"`
+	Op    string `json:"op"`
+	Tag   string `json:"tag,omitempty"`
+}
+
+// WriteJSONL emits one JSON object per record.
+func (c *Collector) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, r := range c.Records {
+		jr := jsonRecord{
+			Cycle: r.Cycle, Core: r.Core, Warp: r.Warp,
+			PC:   fmt.Sprintf("%#x", r.PC),
+			Mask: fmt.Sprintf("%#x", r.Mask),
+			Op:   r.Op.String(),
+			Tag:  c.TagName(r.Tag),
+		}
+		if err := enc.Encode(jr); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary aggregates a trace.
+type Summary struct {
+	Issues     uint64
+	FirstCycle uint64
+	LastCycle  uint64
+	PerTag     map[string]uint64 // issues per semantic section
+	PerWarp    map[[2]int]uint64 // issues per (core, warp)
+	MeanLanes  float64           // average active lanes per issue (SIMD efficiency)
+	WarpsUsed  int
+	CoresUsed  int
+}
+
+// Summarize computes aggregate statistics over the records.
+func (c *Collector) Summarize() Summary {
+	s := Summary{PerTag: map[string]uint64{}, PerWarp: map[[2]int]uint64{}}
+	if len(c.Records) == 0 {
+		return s
+	}
+	first, last := c.Span()
+	s.FirstCycle, s.LastCycle = first, last
+	var lanes uint64
+	cores := map[int]bool{}
+	for _, r := range c.Records {
+		s.Issues++
+		s.PerTag[c.TagName(r.Tag)]++
+		s.PerWarp[[2]int{r.Core, r.Warp}]++
+		lanes += uint64(popcount(r.Mask))
+		cores[r.Core] = true
+	}
+	s.MeanLanes = float64(lanes) / float64(s.Issues)
+	s.WarpsUsed = len(s.PerWarp)
+	s.CoresUsed = len(cores)
+	return s
+}
+
+func popcount(m uint64) int {
+	n := 0
+	for ; m != 0; m &= m - 1 {
+		n++
+	}
+	return n
+}
+
+// sortedWarps returns the (core, warp) pairs present, ordered.
+func (c *Collector) sortedWarps() [][2]int {
+	set := map[[2]int]bool{}
+	for _, r := range c.Records {
+		set[[2]int{r.Core, r.Warp}] = true
+	}
+	out := make([][2]int, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}

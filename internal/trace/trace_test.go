@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+)
+
+func event(cycle uint64, cw [2]int, pc uint32, mask uint64) sim.IssueEvent {
+	return sim.IssueEvent{Cycle: cycle, Core: cw[0], Warp: cw[1], PC: pc, Mask: mask, Inst: isa.Inst{Op: isa.ADDI}}
+}
+
+func tagger(pc uint32) string {
+	switch {
+	case pc < 0x100:
+		return "spawn"
+	case pc < 0x200:
+		return "body"
+	}
+	return ""
+}
+
+func collect() *Collector {
+	c := NewCollector(tagger)
+	c.Observe(event(10, [2]int{0, 0}, 0x10, 0b11))
+	c.Observe(event(11, [2]int{0, 0}, 0x110, 0b11))
+	c.Observe(event(12, [2]int{0, 1}, 0x114, 0b01))
+	c.Observe(event(20, [2]int{1, 0}, 0x300, 0b1111))
+	return c
+}
+
+func TestCollectorRecordsAndTags(t *testing.T) {
+	c := collect()
+	if len(c.Records) != 4 {
+		t.Fatalf("records = %d", len(c.Records))
+	}
+	if c.TagName(c.Records[0].Tag) != "spawn" {
+		t.Errorf("record 0 tag = %q", c.TagName(c.Records[0].Tag))
+	}
+	if c.TagName(c.Records[1].Tag) != "body" {
+		t.Errorf("record 1 tag = %q", c.TagName(c.Records[1].Tag))
+	}
+	if c.TagName(c.Records[3].Tag) != "" {
+		t.Errorf("record 3 tag = %q", c.TagName(c.Records[3].Tag))
+	}
+	first, last := c.Span()
+	if first != 10 || last != 20 {
+		t.Errorf("span = %d..%d", first, last)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	c := collect()
+	s := c.Summarize()
+	if s.Issues != 4 {
+		t.Errorf("issues = %d", s.Issues)
+	}
+	if s.PerTag["spawn"] != 1 || s.PerTag["body"] != 2 {
+		t.Errorf("per tag = %v", s.PerTag)
+	}
+	if s.WarpsUsed != 3 || s.CoresUsed != 2 {
+		t.Errorf("warps %d cores %d", s.WarpsUsed, s.CoresUsed)
+	}
+	// lanes: 2+2+1+4 = 9 over 4 issues.
+	if s.MeanLanes != 9.0/4 {
+		t.Errorf("mean lanes = %v", s.MeanLanes)
+	}
+	// Empty collector.
+	e := NewCollector(nil).Summarize()
+	if e.Issues != 0 {
+		t.Error("empty summary nonzero")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	c := collect()
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if lines[0] != "cycle,core,warp,pc,mask,op,tag" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "10,0,0,0x10,0x3,addi,spawn") {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	c := collect()
+	var buf bytes.Buffer
+	if err := c.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	var row map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &row); err != nil {
+		t.Fatal(err)
+	}
+	if row["tag"] != "spawn" || row["op"] != "addi" {
+		t.Errorf("row = %v", row)
+	}
+}
+
+func TestWaveformRendering(t *testing.T) {
+	c := collect()
+	var buf bytes.Buffer
+	if err := c.RenderWaveform(&buf, RenderOptions{Width: 20, ShowMask: true}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"c00w00", "c00w01", "c01w00", "legend:", "avg lanes"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("waveform missing %q:\n%s", frag, out)
+		}
+	}
+	// Empty trace renders gracefully.
+	buf.Reset()
+	if err := NewCollector(nil).RenderWaveform(&buf, RenderOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "empty") {
+		t.Error("empty trace not labeled")
+	}
+}
+
+func TestIssueTable(t *testing.T) {
+	c := collect()
+	var buf bytes.Buffer
+	if err := c.RenderIssueTable(&buf, 2); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2 more records") {
+		t.Errorf("truncation note missing:\n%s", out)
+	}
+	buf.Reset()
+	if err := c.RenderIssueTable(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "\n") != 5 {
+		t.Errorf("full table lines = %d", strings.Count(buf.String(), "\n"))
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := collect()
+	c.Reset()
+	if len(c.Records) != 0 {
+		t.Error("reset kept records")
+	}
+	if len(c.Tags()) < 3 {
+		t.Error("reset dropped tag table")
+	}
+}

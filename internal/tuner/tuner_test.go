@@ -1,0 +1,161 @@
+package tuner
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/ocl"
+	"repro/internal/sim"
+)
+
+// deviceRunner builds a fresh device + saxpy case per probe so probes are
+// independent (cold caches, same data).
+func deviceRunner(t *testing.T, hw core.HWInfo, gws int) Runner {
+	t.Helper()
+	return func(lws int) (uint64, error) {
+		d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+		if err != nil {
+			return 0, err
+		}
+		c, err := kernels.BuildSaxpy(d, gws, 3)
+		if err != nil {
+			return 0, err
+		}
+		res, err := c.Run(d, lws)
+		if err != nil {
+			return 0, err
+		}
+		return res.Cycles, nil
+	}
+}
+
+func TestCandidatesContainEq1AndEdges(t *testing.T) {
+	hw := core.HWInfo{Cores: 1, Warps: 2, Threads: 4}
+	cands := Candidates(100, hw)
+	want := map[int]bool{1: true, 100: true, core.OptimalLWS(100, hw): true}
+	got := map[int]bool{}
+	for _, c := range cands {
+		got[c] = true
+		if c < 1 || c > 100 {
+			t.Errorf("candidate %d out of range", c)
+		}
+	}
+	for v := range want {
+		if !got[v] {
+			t.Errorf("candidates missing %d: %v", v, cands)
+		}
+	}
+	// Sorted and unique.
+	for i := 1; i < len(cands); i++ {
+		if cands[i] <= cands[i-1] {
+			t.Errorf("candidates not sorted/unique: %v", cands)
+		}
+	}
+}
+
+func TestExhaustiveFindsUnimodalMinimum(t *testing.T) {
+	// Synthetic cost: V-shaped around lws=32.
+	cost := func(lws int) (uint64, error) {
+		d := lws - 32
+		if d < 0 {
+			d = -d
+		}
+		return uint64(100 + d), nil
+	}
+	res, err := Exhaustive(cost, 1024, core.HWInfo{Cores: 1, Warps: 4, Threads: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestLWS != 32 {
+		t.Errorf("best = %d, want 32", res.BestLWS)
+	}
+	if res.Eq1LWS != 32 || res.Eq1Cycles != 100 {
+		t.Errorf("eq1 = %d / %d", res.Eq1LWS, res.Eq1Cycles)
+	}
+	if res.Eq1Gap() != 1 {
+		t.Errorf("gap = %v", res.Eq1Gap())
+	}
+	if res.Overhead() <= 1 {
+		t.Errorf("overhead = %v, must exceed one launch", res.Overhead())
+	}
+}
+
+func TestHillClimbConvergesAndProbesFewer(t *testing.T) {
+	cost := func(lws int) (uint64, error) {
+		d := lws - 64
+		if d < 0 {
+			d = -d
+		}
+		return uint64(1000 + 10*d), nil
+	}
+	hw := core.HWInfo{Cores: 2, Warps: 4, Threads: 8} // hp=64 -> eq1 = 64 for gws=4096
+	hc, err := HillClimb(cost, 4096, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc.BestLWS != 64 {
+		t.Errorf("hill climb best = %d", hc.BestLWS)
+	}
+	ex, err := Exhaustive(cost, 4096, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hc.Probes) >= len(ex.Probes) {
+		t.Errorf("hill climb probed %d >= exhaustive %d", len(hc.Probes), len(ex.Probes))
+	}
+}
+
+func TestHillClimbWalksDownhill(t *testing.T) {
+	// Minimum at 8, start (eq1) at 128: must walk down by halving.
+	cost := func(lws int) (uint64, error) {
+		d := lws - 8
+		if d < 0 {
+			d = -d
+		}
+		return uint64(50 + d), nil
+	}
+	hw := core.HWInfo{Cores: 1, Warps: 2, Threads: 4} // hp=8, gws 1024 -> eq1=128
+	res, err := HillClimb(cost, 1024, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestLWS != 8 {
+		t.Errorf("best = %d, want 8", res.BestLWS)
+	}
+}
+
+func TestTunerOnRealDevice(t *testing.T) {
+	hw := core.HWInfo{Cores: 1, Warps: 2, Threads: 4}
+	const gws = 512
+	run := deviceRunner(t, hw, gws)
+	res, err := Exhaustive(run, gws, hw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestCycles == 0 || len(res.Probes) < 8 {
+		t.Fatalf("implausible search: %+v", res)
+	}
+	// The closed form must land within 15% of the searched optimum — the
+	// paper's central claim restated as a tolerance.
+	if gap := res.Eq1Gap(); gap > 1.15 {
+		t.Errorf("Eq.1 gap = %.3f, want <= 1.15 (best lws=%d vs eq1 lws=%d)",
+			gap, res.BestLWS, res.Eq1LWS)
+	}
+	// And searching must cost much more than the launch it optimizes.
+	if res.Overhead() < 3 {
+		t.Errorf("search overhead = %.1fx, expected substantial", res.Overhead())
+	}
+}
+
+func TestRunnerErrorsPropagate(t *testing.T) {
+	boom := errors.New("boom")
+	bad := func(int) (uint64, error) { return 0, boom }
+	if _, err := Exhaustive(bad, 64, core.HWInfo{Cores: 1, Warps: 1, Threads: 1}); !errors.Is(err, boom) {
+		t.Errorf("exhaustive error = %v", err)
+	}
+	if _, err := HillClimb(bad, 64, core.HWInfo{Cores: 1, Warps: 1, Threads: 1}); !errors.Is(err, boom) {
+		t.Errorf("hill climb error = %v", err)
+	}
+}

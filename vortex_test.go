@@ -1,0 +1,92 @@
+package vortex_test
+
+import (
+	"testing"
+
+	vortex "repro"
+)
+
+// The facade-level integration test: the README quick-start flow.
+func TestQuickstartFlow(t *testing.T) {
+	const n = 256
+	dev, err := vortex.NewDevice(vortex.DefaultConfig(2, 4, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := dev.AllocFloat32(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := dev.AllocFloat32(n)
+	c, _ := dev.AllocFloat32(n)
+	xs := make([]float32, n)
+	ys := make([]float32, n)
+	for i := range xs {
+		xs[i] = float32(i)
+		ys[i] = float32(i * i)
+	}
+	if err := dev.WriteFloat32(a, xs); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.WriteFloat32(b, ys); err != nil {
+		t.Fatal(err)
+	}
+	k, err := vortex.NewKernel(vortex.KernelSource{
+		Name: "vecadd",
+		Body: `
+	lw   t3, 0(a1)
+	lw   t4, 4(a1)
+	lw   t5, 8(a1)
+	slli t6, a0, 2
+	add  t3, t3, t6
+	add  t4, t4, t6
+	add  t5, t5, t6
+	flw  f0, 0(t3)
+	flw  f1, 0(t4)
+	fadd.s f2, f0, f1
+	fsw  f2, 0(t5)
+`,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgs(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	res, err := dev.EnqueueNDRange(k, n, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LWS != vortex.OptimalLWS(n, dev.Info()) {
+		t.Errorf("auto lws = %d, want Eq.1 value %d", res.LWS, vortex.OptimalLWS(n, dev.Info()))
+	}
+	out, err := dev.ReadFloat32(c, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range out {
+		if out[i] != xs[i]+ys[i] {
+			t.Fatalf("out[%d] = %v", i, out[i])
+		}
+	}
+}
+
+func TestFacadeMappersAndAdvice(t *testing.T) {
+	hw := vortex.HWInfo{Cores: 1, Warps: 2, Threads: 4}
+	if got := vortex.OptimalLWS(128, hw); got != 16 {
+		t.Errorf("OptimalLWS = %d", got)
+	}
+	if vortex.AutoMapper().LWS(128, hw) != 16 {
+		t.Error("AutoMapper disagrees with OptimalLWS")
+	}
+	if vortex.NaiveMapper().LWS(128, hw) != 1 {
+		t.Error("NaiveMapper != 1")
+	}
+	if vortex.FixedMapper(32).LWS(128, hw) != 32 {
+		t.Error("FixedMapper != 32")
+	}
+	a := vortex.Advise(128, hw)
+	if a.LWS != 16 || a.Regime != vortex.RegimeExact {
+		t.Errorf("Advise = %+v", a)
+	}
+}
