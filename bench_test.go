@@ -17,8 +17,10 @@ package vortex_test
 import (
 	"testing"
 
+	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/mem"
 	"repro/internal/ocl"
 	"repro/internal/sim"
 	"repro/internal/sweep"
@@ -220,10 +222,21 @@ func BenchmarkAblationScheduler(b *testing.B) {
 
 // BenchmarkSimulatorIssueRate measures raw simulator speed (simulated
 // instruction issues per wall-clock second) on a busy multi-warp device.
-func BenchmarkSimulatorIssueRate(b *testing.B) {
+// sim.DefaultConfig enables the parallel multi-core engine (Workers =
+// NumCPU); BenchmarkSimulatorIssueRateSequential is the one-goroutine
+// baseline for the speedup comparison.
+func BenchmarkSimulatorIssueRate(b *testing.B)           { benchIssueRate(b, 0) }
+func BenchmarkSimulatorIssueRateSequential(b *testing.B) { benchIssueRate(b, 1) }
+
+func benchIssueRate(b *testing.B, workers int) {
+	b.Helper()
 	var issued uint64
 	for i := 0; i < b.N; i++ {
-		d, err := ocl.NewDevice(sim.DefaultConfig(4, 8, 8))
+		cfg := sim.DefaultConfig(4, 8, 8)
+		if workers > 0 {
+			cfg.Workers = workers
+		}
+		d, err := ocl.NewDevice(cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,6 +250,75 @@ func BenchmarkSimulatorIssueRate(b *testing.B) {
 		}
 		issued += res.Launches[0].Stats.Issued
 	}
+	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
+}
+
+// BenchmarkSimulatorIssuePath measures the steady-state issue path with all
+// setup (device build, assembly, input generation) hoisted out of the loop:
+// each iteration re-activates the warps of a prebuilt device and runs the
+// kernel to completion. With -benchmem this pins the zero-allocation
+// property of the issue/coalescing path (allocs/op ~ 0 on the sequential
+// engine; the parallel engine adds only its per-run worker bookkeeping).
+func BenchmarkSimulatorIssuePath(b *testing.B) {
+	cfg := sim.DefaultConfig(4, 8, 8)
+	cfg.Workers = 1
+	prog := `
+		csrr s0, cid
+		slli s0, s0, 14
+		csrr t0, wid
+		slli t1, t0, 10
+		add  s0, s0, t1
+		csrr t0, tid
+		slli t1, t0, 6
+		add  s0, s0, t1
+		li   t2, 0x10000
+		add  s0, s0, t2
+		li   t3, 24
+	loop:
+		lw   t4, 0(s0)
+		add  t4, t4, t3
+		sw   t4, 0(s0)
+		fcvt.s.w f0, t4
+		fmadd.s f1, f0, f0, f0
+		addi s0, s0, 64
+		addi t3, t3, -1
+		bnez t3, loop
+		ecall
+	`
+	p := asm.MustAssemble(prog, 0x1000, nil)
+	memory := mem.NewMemory(1 << 21)
+	hier, err := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(cfg, memory, hier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func() {
+		for c := 0; c < cfg.Cores; c++ {
+			for w := 0; w < cfg.Warps; w++ {
+				if err := s.ActivateWarp(c, w, 0x1000, 0xFF); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runOnce() // warm up: first activation allocates the register files
+	warmupIssued := s.TotalStats().Issued
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce()
+	}
+	b.StopTimer()
+	issued := s.TotalStats().Issued - warmupIssued
 	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
 }
 

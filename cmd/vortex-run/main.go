@@ -28,9 +28,10 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "workload scale (1.0 = paper size)")
 	seed := flag.Int64("seed", 42, "input seed")
 	compare := flag.Bool("compare", false, "run all three mappings and print the ratio table")
+	workers := flag.Int("workers", 0, "host threads simulating cores in parallel (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare); err != nil {
+	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
 	}
@@ -48,7 +49,17 @@ func mapperByName(name string) (core.Mapper, error) {
 	return nil, fmt.Errorf("unknown mapper %q", name)
 }
 
-func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool) error {
+// deviceConfig builds the simulator config for hw; workers > 0 overrides
+// the core-parallelism of the simulation engine (default: all host CPUs).
+func deviceConfig(hw core.HWInfo, workers int) sim.Config {
+	cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	return cfg
+}
+
+func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool, workers int) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -58,14 +69,14 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 		return err
 	}
 	if compare {
-		return runCompare(hw, spec, scale, seed)
+		return runCompare(hw, spec, scale, seed, workers)
 	}
 	m, err := mapperByName(mapperName)
 	if err != nil {
 		return err
 	}
 
-	d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+	d, err := ocl.NewDevice(deviceConfig(hw, workers))
 	if err != nil {
 		return err
 	}
@@ -101,7 +112,7 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 	return nil
 }
 
-func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64) error {
+func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, workers int) error {
 	fmt.Printf("kernel %s on %s (hp=%d): comparing mappings\n\n", spec.Name, hw.Name(), hw.HP())
 	type row struct {
 		name   string
@@ -115,7 +126,7 @@ func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64) er
 		{name: "ours", mapper: core.Auto{}},
 	}
 	for i := range rows {
-		d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+		d, err := ocl.NewDevice(deviceConfig(hw, workers))
 		if err != nil {
 			return err
 		}

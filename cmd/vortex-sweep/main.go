@@ -35,6 +35,7 @@ func main() {
 	csvPath := flag.String("csv", "", "write the raw per-run records to this CSV file")
 	progress := flag.Bool("progress", false, "print progress to stderr")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
+	simWorkers := flag.Int("sim-workers", 0, "core-parallel threads per simulation (0 = auto-divide CPUs, <0 = sequential)")
 	replot := flag.String("replot", "", "re-render tables/violins from a previously written CSV instead of simulating")
 	flag.Parse()
 
@@ -71,12 +72,13 @@ func main() {
 		}
 	}
 	opts := sweep.Options{
-		Configs: sweep.Subsample(sweep.Grid(), *nConfigs),
-		Kernels: names,
-		Scale:   *scale,
-		Seed:    *seed,
-		Verify:  *verify,
-		Workers: *workers,
+		Configs:    sweep.Subsample(sweep.Grid(), *nConfigs),
+		Kernels:    names,
+		Scale:      *scale,
+		Seed:       *seed,
+		Verify:     *verify,
+		Workers:    *workers,
+		SimWorkers: *simWorkers,
 	}
 	if *progress {
 		start := time.Now()

@@ -28,15 +28,16 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale")
 	strategy := flag.String("strategy", "exhaustive", "search strategy: exhaustive or hillclimb")
 	seed := flag.Int64("seed", 42, "input seed")
+	workers := flag.Int("workers", 0, "host threads simulating cores in parallel per probe (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *scale, *strategy, *seed); err != nil {
+	if err := run(*cfgName, *kernel, *scale, *strategy, *seed, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-tuner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgName, kernel string, scale float64, strategy string, seed int64) error {
+func run(cfgName, kernel string, scale float64, strategy string, seed int64, workers int) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -45,9 +46,13 @@ func run(cfgName, kernel string, scale float64, strategy string, seed int64) err
 	if err != nil {
 		return err
 	}
+	cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
+	if workers > 0 {
+		cfg.Workers = workers
+	}
 
 	// Discover the gws from a throwaway build.
-	probeDev, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+	probeDev, err := ocl.NewDevice(cfg)
 	if err != nil {
 		return err
 	}
@@ -58,7 +63,7 @@ func run(cfgName, kernel string, scale float64, strategy string, seed int64) err
 	gws := c0.Launches[0].GWS
 
 	runner := func(lws int) (uint64, error) {
-		d, err := ocl.NewDevice(sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads))
+		d, err := ocl.NewDevice(cfg)
 		if err != nil {
 			return 0, err
 		}

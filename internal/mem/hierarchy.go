@@ -20,6 +20,13 @@ type HierarchyConfig struct {
 	DRAM DRAMConfig
 	// L2Disabled bypasses the shared L2 (misses go straight to DRAM).
 	L2Disabled bool
+	// L2Banks is the number of independent L2 banks; consecutive cache
+	// lines are striped across banks. 0 picks the default (8). The count
+	// is rounded down to a power of two and clamped to the set count, and
+	// the set-to-bank striping is arranged so hit/miss behaviour, LRU
+	// decisions and aggregate statistics are identical to a monolithic L2
+	// of the same total geometry.
+	L2Banks int
 }
 
 // DefaultHierarchyConfig returns the Vortex-like defaults documented in
@@ -27,9 +34,10 @@ type HierarchyConfig struct {
 // shared L2 (12-cycle hits), 100-cycle DRAM at 16 B/cycle.
 func DefaultHierarchyConfig() HierarchyConfig {
 	return HierarchyConfig{
-		L1:   CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 2},
-		L2:   CacheConfig{SizeBytes: 128 << 10, LineBytes: 64, Ways: 8, HitLatency: 24},
-		DRAM: DRAMConfig{Latency: 180, BytesPerCycle: 16},
+		L1:      CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 2},
+		L2:      CacheConfig{SizeBytes: 128 << 10, LineBytes: 64, Ways: 8, HitLatency: 24},
+		DRAM:    DRAMConfig{Latency: 180, BytesPerCycle: 16},
+		L2Banks: 8,
 	}
 }
 
@@ -41,13 +49,28 @@ type DRAMStats struct {
 }
 
 // Hierarchy is the assembled memory system for one device: per-core private
-// L1 caches over a shared L2 over DRAM.
+// L1 front-ends over a banked shared L2 over DRAM.
+//
+// The access path is split in two so a parallel simulation engine can run
+// core pipelines concurrently while keeping the shared state deterministic:
+//
+//   - L1Access touches only the requesting core's private L1 and is safe to
+//     call concurrently for distinct cores.
+//   - SharedAccess completes an L1 miss through the banked L2 and DRAM. It
+//     mutates shared state and must be called single-threaded, in the
+//     deterministic global request order (ascending cycle, then core id) —
+//     the same order the sequential engine produces naturally.
+//
+// Access composes the two for sequential callers.
 type Hierarchy struct {
-	cfg      HierarchyConfig
-	l1       []*Cache
-	l2       *Cache
-	dramFree []uint64 // next free cycle per memory channel
-	DRAM     DRAMStats
+	cfg       HierarchyConfig
+	l1        []*Cache
+	banks     []*Cache // L2 banks; lines striped by low line-index bits
+	bankBits  uint
+	bankMask  uint32
+	lineShift uint
+	dramFree  []uint64 // next free cycle per memory channel
+	DRAM      DRAMStats
 }
 
 // NewHierarchy builds the hierarchy for cores L1 instances.
@@ -61,6 +84,9 @@ func NewHierarchy(cores int, cfg HierarchyConfig) (*Hierarchy, error) {
 	if cfg.DRAM.Latency < 0 || cfg.DRAM.BytesPerCycle <= 0 {
 		return nil, fmt.Errorf("mem: bad DRAM config %+v", cfg.DRAM)
 	}
+	if cfg.L2Banks < 0 {
+		return nil, fmt.Errorf("mem: negative L2 bank count %d", cfg.L2Banks)
+	}
 	h := &Hierarchy{cfg: cfg}
 	for i := 0; i < cores; i++ {
 		c, err := NewCache(cfg.L1)
@@ -69,11 +95,24 @@ func NewHierarchy(cores int, cfg HierarchyConfig) (*Hierarchy, error) {
 		}
 		h.l1 = append(h.l1, c)
 	}
-	l2, err := NewCache(cfg.L2)
-	if err != nil {
+	h.lineShift = h.l1[0].lineShift
+	if err := cfg.L2.Validate(); err != nil {
 		return nil, fmt.Errorf("mem: L2: %w", err)
 	}
-	h.l2 = l2
+	nb := bankCount(cfg)
+	bankCfg := cfg.L2
+	bankCfg.SizeBytes = cfg.L2.SizeBytes / nb
+	for i := 0; i < nb; i++ {
+		b, err := NewCache(bankCfg)
+		if err != nil {
+			return nil, fmt.Errorf("mem: L2 bank: %w", err)
+		}
+		h.banks = append(h.banks, b)
+	}
+	for 1<<h.bankBits != nb {
+		h.bankBits++
+	}
+	h.bankMask = uint32(nb - 1)
 	ch := cfg.DRAM.Channels
 	if ch < 1 {
 		ch = 1
@@ -82,17 +121,51 @@ func NewHierarchy(cores int, cfg HierarchyConfig) (*Hierarchy, error) {
 	return h, nil
 }
 
+// bankCount resolves the effective L2 bank count: the configured value (or
+// the default 8), rounded down to a power of two and clamped to the set
+// count so every bank keeps at least one set.
+func bankCount(cfg HierarchyConfig) int {
+	nb := cfg.L2Banks
+	if nb == 0 {
+		nb = 8
+	}
+	sets := cfg.L2.SizeBytes / (cfg.L2.LineBytes * cfg.L2.Ways)
+	if nb > sets {
+		nb = sets
+	}
+	p := 1
+	for p*2 <= nb {
+		p *= 2
+	}
+	return p
+}
+
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
 // LineShift returns log2 of the cache line size.
-func (h *Hierarchy) LineShift() uint { return h.l1[0].lineShift }
+func (h *Hierarchy) LineShift() uint { return h.lineShift }
 
 // L1Stats returns the statistics of core's private L1.
 func (h *Hierarchy) L1Stats(core int) CacheStats { return h.l1[core].Stats }
 
-// L2Stats returns the shared L2 statistics.
-func (h *Hierarchy) L2Stats() CacheStats { return h.l2.Stats }
+// L2Banks returns the number of independent L2 banks.
+func (h *Hierarchy) L2Banks() int { return len(h.banks) }
+
+// L2BankStats returns the statistics of one L2 bank.
+func (h *Hierarchy) L2BankStats(bank int) CacheStats { return h.banks[bank].Stats }
+
+// L2Stats returns the shared L2 statistics, summed over banks.
+func (h *Hierarchy) L2Stats() CacheStats {
+	var s CacheStats
+	for _, b := range h.banks {
+		s.Accesses += b.Stats.Accesses
+		s.Hits += b.Stats.Hits
+		s.Misses += b.Stats.Misses
+		s.Writebacks += b.Stats.Writebacks
+	}
+	return s
+}
 
 // TotalL1Stats sums L1 statistics over all cores.
 func (h *Hierarchy) TotalL1Stats() CacheStats {
@@ -113,33 +186,78 @@ type AccessResult struct {
 	L2Hit bool
 }
 
-// Access performs the timing walk for one cache-line request issued by core
-// at cycle now. addr may be any byte address within the line. Write requests
-// allocate like reads (write-allocate) and mark lines dirty.
-func (h *Hierarchy) Access(core int, addr uint32, write bool, now uint64) AccessResult {
+// MissInfo carries an L1 miss from a core's private front end to the shared
+// levels: the missing line, the cycle the request leaves the L1 (the L1
+// latency is already paid), and the dirty victim the fill displaced, if any.
+type MissInfo struct {
+	Addr   uint32
+	Write  bool
+	At     uint64
+	WB     bool
+	WBAddr uint32
+}
+
+// L1Access performs the private-L1 part of a line request issued by core at
+// cycle now. On a hit the result is final and miss is false. On a miss the
+// line is filled into the L1 immediately (tags only; the simulator is
+// functional at issue) and the caller must complete the request timing with
+// SharedAccess. Distinct cores may call L1Access concurrently.
+func (h *Hierarchy) L1Access(core int, addr uint32, write bool, now uint64) (AccessResult, bool, MissInfo) {
 	l1 := h.l1[core]
 	t := now + uint64(h.cfg.L1.HitLatency)
 	if l1.lookup(addr, write) {
-		return AccessResult{Done: t, L1Hit: true}
+		return AccessResult{Done: t, L1Hit: true}, false, MissInfo{}
 	}
-	// L1 miss: walk down, then fill on the way back.
-	if wb, victim := l1.fill(addr, write); wb {
+	wb, victim := l1.fill(addr, write)
+	return AccessResult{}, true, MissInfo{Addr: addr, Write: write, At: t, WB: wb, WBAddr: victim}
+}
+
+// SharedAccess walks an L1 miss through the banked L2 and DRAM and returns
+// its completion. Calls must be single-threaded and globally ordered by
+// (cycle, core) for deterministic LRU, bandwidth and statistics state.
+func (h *Hierarchy) SharedAccess(m MissInfo) AccessResult {
+	if m.WB {
 		// Dirty L1 victims are absorbed by the L2 (or DRAM if disabled).
-		h.writebackToL2(victim, t)
+		h.writebackToL2(m.WBAddr, m.At)
 	}
 	if h.cfg.L2Disabled {
-		done := h.dramAccess(addr, t)
-		return AccessResult{Done: done}
+		return AccessResult{Done: h.dramAccess(m.Addr, m.At)}
 	}
-	t += uint64(h.cfg.L2.HitLatency)
-	if h.l2.lookup(addr, write) {
+	t := m.At + uint64(h.cfg.L2.HitLatency)
+	bank, baddr := h.bankOf(m.Addr)
+	b := h.banks[bank]
+	if b.lookup(baddr, m.Write) {
 		return AccessResult{Done: t, L2Hit: true}
 	}
-	if wb, victim := h.l2.fill(addr, write); wb {
-		h.dramWriteback(victim, t)
+	if wb, victim := b.fill(baddr, m.Write); wb {
+		h.dramWriteback(h.bankVictim(bank, victim), t)
 	}
-	done := h.dramAccess(addr, t)
-	return AccessResult{Done: done}
+	return AccessResult{Done: h.dramAccess(m.Addr, t)}
+}
+
+// Access performs the full timing walk for one cache-line request issued by
+// core at cycle now. addr may be any byte address within the line. Write
+// requests allocate like reads (write-allocate) and mark lines dirty.
+func (h *Hierarchy) Access(core int, addr uint32, write bool, now uint64) AccessResult {
+	res, miss, mi := h.L1Access(core, addr, write, now)
+	if !miss {
+		return res
+	}
+	return h.SharedAccess(mi)
+}
+
+// bankOf maps an address to its L2 bank and the bank-local address.
+// Consecutive lines stripe across banks (the low line-index bits select the
+// bank); the remaining line bits index within the bank, so the (bank, set)
+// pair partitions lines exactly like the set index of a monolithic L2.
+func (h *Hierarchy) bankOf(addr uint32) (int, uint32) {
+	line := addr >> h.lineShift
+	return int(line & h.bankMask), (line >> h.bankBits) << h.lineShift
+}
+
+// bankVictim reconstructs the device address of a bank-local victim line.
+func (h *Hierarchy) bankVictim(bank int, baddr uint32) uint32 {
+	return ((baddr>>h.lineShift)<<h.bankBits | uint32(bank)) << h.lineShift
 }
 
 // writebackToL2 retires a dirty L1 victim into the L2 without stalling the
@@ -150,17 +268,19 @@ func (h *Hierarchy) writebackToL2(addr uint32, now uint64) {
 		h.dramWriteback(addr, now)
 		return
 	}
-	if h.l2.lookup(addr, true) {
+	bank, baddr := h.bankOf(addr)
+	b := h.banks[bank]
+	if b.lookup(baddr, true) {
 		return
 	}
-	if wb, victim := h.l2.fill(addr, true); wb {
-		h.dramWriteback(victim, now)
+	if wb, victim := b.fill(baddr, true); wb {
+		h.dramWriteback(h.bankVictim(bank, victim), now)
 	}
 }
 
 // channelOf interleaves cache lines across memory channels.
 func (h *Hierarchy) channelOf(addr uint32) int {
-	return int((addr >> h.LineShift()) % uint32(len(h.dramFree)))
+	return int((addr >> h.lineShift) % uint32(len(h.dramFree)))
 }
 
 // dramAccess models a line fetch: it waits for its channel, occupies it
@@ -206,7 +326,9 @@ func (h *Hierarchy) Flush() {
 	for _, c := range h.l1 {
 		c.Flush()
 	}
-	h.l2.Flush()
+	for _, b := range h.banks {
+		b.Flush()
+	}
 }
 
 // Coalesce merges the active lanes' byte addresses into unique line

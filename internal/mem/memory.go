@@ -26,11 +26,27 @@ func NewMemory(size uint32) *Memory { return &Memory{data: make([]byte, size)} }
 func (m *Memory) Size() uint32 { return uint32(len(m.data)) }
 
 // Grow extends the memory to at least size bytes, preserving contents.
+// Capacity grows geometrically so that a sequence of allocations (the
+// buffer allocator calls Grow per Alloc) copies the existing contents
+// O(log n) times instead of once per call.
 func (m *Memory) Grow(size uint32) {
 	if size <= m.Size() {
 		return
 	}
-	bigger := make([]byte, size)
+	if uint32(cap(m.data)) >= size {
+		// The backing array beyond len was zeroed at allocation and never
+		// exposed, so reslicing is equivalent to growing into fresh memory.
+		m.data = m.data[:size]
+		return
+	}
+	newCap := uint64(cap(m.data)) * 2
+	if newCap > 1<<32-1 {
+		newCap = 1<<32 - 1
+	}
+	if newCap < uint64(size) {
+		newCap = uint64(size)
+	}
+	bigger := make([]byte, size, newCap)
 	copy(bigger, m.data)
 	m.data = bigger
 }

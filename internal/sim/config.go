@@ -15,6 +15,7 @@ package sim
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/mem"
 )
@@ -76,6 +77,14 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations; 0 means a generous default.
 	MaxCycles uint64
+
+	// Workers is the number of host goroutines Sim.Run uses to simulate
+	// cores in parallel, clamped to the core count. 0 or 1 selects the
+	// single-threaded engine; DefaultConfig sets runtime.NumCPU(). For
+	// kernels free of cross-core data races the parallel engine produces
+	// byte-identical cycle counts and statistics at any worker count (see
+	// internal/sim/README.md for the determinism contract).
+	Workers int
 }
 
 // DefaultConfig returns the default device: cores x warps x threads with the
@@ -94,6 +103,7 @@ func DefaultConfig(cores, warps, threads int) Config {
 		Lat:      DefaultLatencies(),
 		Sched:    SchedRoundRobin,
 		LSUPorts: 8,
+		Workers:  runtime.NumCPU(),
 	}
 }
 
@@ -110,6 +120,9 @@ func (c Config) Validate() error {
 	}
 	if c.LSUPorts < 1 {
 		return fmt.Errorf("sim: LSUPorts %d must be at least 1", c.LSUPorts)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("sim: negative worker count %d", c.Workers)
 	}
 	return nil
 }

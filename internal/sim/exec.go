@@ -113,7 +113,10 @@ func (s *Sim) execute(c *simCore, wid int, w *warp, in isa.Inst) error {
 		if err != nil {
 			return err
 		}
-		if in.IsLoad() {
+		// Under the parallel engine the completion time is unknown until the
+		// end-of-cycle commit walks the shared levels; commitDeferred patches
+		// the scoreboard then (always before the next cycle's issue phase).
+		if in.IsLoad() && !s.par {
 			if op == isa.FLW {
 				w.pendF[rd] = done
 			} else if rd != 0 {
@@ -316,7 +319,7 @@ func (s *Sim) executeMem(c *simCore, wid int, w *warp, in isa.Inst) (uint64, err
 		lane := bits.TrailingZeros64(m)
 		b := lane * 32
 		addr := w.regs[b+rs1] + uint32(in.Imm)
-		s.addrBuf[lane] = addr
+		c.addrBuf[lane] = addr
 		if !s.memory.InBounds(addr, size) {
 			return 0, s.trapf(c, wid, w, "%s lane %d address %#x out of bounds (mem size %#x)", in.Op, lane, addr, s.memory.Size())
 		}
@@ -363,26 +366,47 @@ func (s *Sim) executeMem(c *simCore, wid int, w *warp, in isa.Inst) (uint64, err
 		}
 	}
 
-	// Timing: coalesce lanes into line requests, streamed 1/cycle.
+	// Timing: coalesce lanes into line requests, streamed 1/cycle. The
+	// scratch buffers are per-core and preallocated: this path runs once per
+	// memory instruction and must not allocate (and under the parallel
+	// engine it runs concurrently across cores).
 	shift := s.hier.LineShift()
 	var lines []uint32
 	if s.NoCoalesce {
-		lines = s.lineBuf[:0]
+		lines = c.lineBuf[:0]
 		for m := w.tmask; m != 0; m &= m - 1 {
 			lane := bits.TrailingZeros64(m)
-			lines = append(lines, s.addrBuf[lane]>>shift<<shift)
+			lines = append(lines, c.addrBuf[lane]>>shift<<shift)
 		}
-		s.lineBuf = lines
+		c.lineBuf = lines
 	} else {
-		s.lineBuf = mem.Coalesce(s.addrBuf[:s.cfg.Threads], w.tmask, shift, s.lineBuf)
-		lines = s.lineBuf
+		c.lineBuf = mem.Coalesce(c.addrBuf[:s.cfg.Threads], w.tmask, shift, c.lineBuf)
+		lines = c.lineBuf
 	}
 	ports := s.cfg.LSUPorts
 	var done uint64
-	for i, line := range lines {
-		r := s.hier.Access(c.id, line, isStore, s.cycle+uint64(i/ports))
-		if r.Done > done {
-			done = r.Done
+	if s.par {
+		// Concurrent phase: walk only this core's private L1 and queue the
+		// misses; commitDeferred completes them in (cycle, core) order.
+		d := &c.md
+		d.active, d.isLoad, d.fp = true, in.IsLoad(), in.Op == isa.FLW
+		d.wid, d.rd = wid, rd
+		d.nMiss, d.partialDone = 0, 0
+		for i, line := range lines {
+			r, miss, mi := s.hier.L1Access(c.id, line, isStore, s.cycle+uint64(i/ports))
+			if miss {
+				d.miss[d.nMiss] = mi
+				d.nMiss++
+			} else if r.Done > d.partialDone {
+				d.partialDone = r.Done
+			}
+		}
+	} else {
+		for i, line := range lines {
+			r := s.hier.Access(c.id, line, isStore, s.cycle+uint64(i/ports))
+			if r.Done > done {
+				done = r.Done
+			}
 		}
 	}
 	c.lsuFree = s.cycle + uint64((len(lines)+ports-1)/ports)

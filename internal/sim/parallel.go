@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+)
+
+// This file implements the parallel multi-core engine. One simulated device
+// cycle is executed as a bulk-synchronous step:
+//
+//  1. Issue phase (concurrent). The cores are partitioned into contiguous
+//     ranges, one per worker. Each worker scans its cores exactly like the
+//     sequential engine — scheduling, scoreboards, functional execution and
+//     the private L1 front end are all core-local — but the shared half of
+//     every memory instruction (banked L2, DRAM) is queued in the core's
+//     memDefer slot instead of being walked immediately.
+//  2. Commit phase (single-threaded). After a barrier, the queued misses
+//     are applied to the shared hierarchy in ascending core order, which is
+//     exactly the order the sequential engine interleaves them at this
+//     cycle, and each load's completion time is patched into its warp's
+//     scoreboard. Completion times always lie at least one cycle in the
+//     future, so deferring the patch past the issue phase cannot be
+//     observed by any in-order pipeline.
+//  3. The coordinator aggregates activity and wake times, advances the
+//     device cycle (skipping idle gaps the same way the sequential engine
+//     does, with identical stall attribution), and releases the next step.
+//
+// Because every shared-state mutation happens in the same global order as
+// under the sequential engine, cycle counts, per-core counters, cache and
+// DRAM statistics are byte-identical for kernels whose cores do not race on
+// device memory (the OpenCL-style workloads in this repository never do:
+// each work item writes only addresses derived from its own gid). The only
+// intentional divergence is trap handling: on an execution trap the
+// (cycle, core)-minimal trap is returned, as in the sequential engine, but
+// same-cycle side effects of higher-numbered cores may already be visible.
+//
+// Synchronization is a generation-counter spin barrier: workers park in a
+// Gosched loop between steps. Simulated cycles are far shorter than any
+// channel round trip, so avoiding scheduler wakeups per cycle is what makes
+// per-cycle synchronization affordable; on a single-CPU host the Gosched
+// calls keep the engine live (if slow), and resolveWorkers normally routes
+// such hosts to the sequential engine anyway via Config.Workers=NumCPU.
+
+// parWorker is one worker's core range and per-step result slate. The
+// trailing pad keeps adjacent workers' hot fields on distinct cache lines.
+type parWorker struct {
+	lo, hi    int
+	anyActive bool
+	issuedAny bool
+	minWake   uint64
+	err       error
+	_         [64]byte
+}
+
+func (s *Sim) runParallel(nw int) error {
+	limit := s.cfg.MaxCycles
+	if limit == 0 {
+		limit = 1 << 40
+	}
+	deadline := s.cycle + limit
+
+	s.par = true
+	defer func() { s.par = false }()
+
+	// A previous run that trapped may have returned before its commit
+	// phase; drop any stale deferred requests so they cannot replay into
+	// the shared hierarchy at the wrong time.
+	for i := range s.cores {
+		s.cores[i].md.active = false
+	}
+
+	ws := make([]parWorker, nw)
+	for i := range ws {
+		ws[i].lo = i * len(s.cores) / nw
+		ws[i].hi = (i + 1) * len(s.cores) / nw
+	}
+
+	// step runs one issue phase over a worker's cores. It is the body of
+	// the sequential engine's per-cycle core loop, minus the shared-memory
+	// walks (deferred via s.par) and with results gathered per worker.
+	step := func(pw *parWorker) {
+		pw.anyActive, pw.issuedAny = false, false
+		pw.minWake = noWake
+		pw.err = nil
+		for i := pw.lo; i < pw.hi; i++ {
+			c := &s.cores[i]
+			if c.active == 0 {
+				continue
+			}
+			pw.anyActive = true
+			if c.nextWake > s.cycle {
+				if c.nextWake < pw.minWake {
+					pw.minWake = c.nextWake
+				}
+				s.accountStall(c, 1)
+				continue
+			}
+			issued, wake, err := s.issueOne(c)
+			if err != nil {
+				// Stop like the sequential engine stops its scan; the
+				// coordinator returns the lowest-core trap of this cycle.
+				pw.err = err
+				return
+			}
+			if issued {
+				pw.issuedAny = true
+				c.nextWake = s.cycle + 1
+			} else {
+				c.nextWake = wake
+				if wake < pw.minWake {
+					pw.minWake = wake
+				}
+				s.accountStall(c, 1)
+			}
+		}
+	}
+
+	var (
+		gen  atomic.Uint64 // bumped by the coordinator to release a step
+		done atomic.Int64  // workers finished with the current step
+		stop atomic.Bool
+	)
+	for wi := 1; wi < nw; wi++ {
+		go func(pw *parWorker) {
+			var last uint64
+			for {
+				for gen.Load() == last {
+					if stop.Load() {
+						return
+					}
+					runtime.Gosched()
+				}
+				last++
+				step(pw)
+				done.Add(1)
+			}
+		}(&ws[wi])
+	}
+	// Workers are only ever parked in the spin loop when we return, so
+	// setting the flag (without bumping gen) is enough to shut them down.
+	defer stop.Store(true)
+
+	for {
+		done.Store(0)
+		gen.Add(1)
+		step(&ws[0]) // the coordinator doubles as worker 0
+		for done.Load() != int64(nw-1) {
+			runtime.Gosched()
+		}
+
+		anyActive, issuedAny := false, false
+		minWake := noWake
+		var firstErr error
+		for wi := range ws {
+			pw := &ws[wi]
+			if pw.err != nil && firstErr == nil {
+				firstErr = pw.err // ranges ascend: first is the lowest core
+			}
+			anyActive = anyActive || pw.anyActive
+			issuedAny = issuedAny || pw.issuedAny
+			if pw.minWake < minWake {
+				minWake = pw.minWake
+			}
+		}
+		if firstErr != nil {
+			return firstErr
+		}
+		// Commit phase: shared-memory requests in (cycle, core) order.
+		for i := range s.cores {
+			if s.cores[i].md.active {
+				s.commitDeferred(&s.cores[i])
+			}
+		}
+		if !anyActive {
+			return nil
+		}
+		if issuedAny {
+			s.cycle++
+		} else {
+			if minWake == noWake {
+				return s.deadlockTrap()
+			}
+			// Jump to the next event; attribute the skipped cycles to the
+			// same stall reasons (each stalled core already got 1 above).
+			delta := minWake - s.cycle
+			if delta > 1 {
+				for i := range s.cores {
+					c := &s.cores[i]
+					if c.active > 0 {
+						s.accountStall(c, delta-1)
+					}
+				}
+			}
+			s.cycle = minWake
+		}
+		if s.cycle > deadline {
+			return fmt.Errorf("sim: exceeded cycle limit %d on %s", limit, s.cfg.Name())
+		}
+	}
+}
+
+// commitDeferred completes one core's queued memory instruction against the
+// shared levels and patches the load's scoreboard entry. Must run
+// single-threaded, in ascending core order within the cycle.
+func (s *Sim) commitDeferred(c *simCore) {
+	d := &c.md
+	d.active = false
+	done := d.partialDone
+	for i := 0; i < d.nMiss; i++ {
+		if r := s.hier.SharedAccess(d.miss[i]); r.Done > done {
+			done = r.Done
+		}
+	}
+	if d.isLoad {
+		w := &c.warps[d.wid]
+		if d.fp {
+			w.pendF[d.rd] = done
+		} else if d.rd != 0 {
+			w.pendI[d.rd] = done
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package sim_test
+
+// Kernel-level differential test for the parallel engine: real registry
+// kernels through the full OpenCL-style runtime on a multi-core device must
+// produce byte-identical launch reports — cycle counts, pipeline counters,
+// cache and DRAM statistics — at every worker count, and still verify
+// against the CPU references. This is the end-to-end half of the
+// determinism contract; internal/sim/parallel_test.go pins the same
+// property at the bare-simulator level.
+
+import (
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/ocl"
+	"repro/internal/sim"
+)
+
+func runKernelSnapshot(t *testing.T, name string, workers int) []*ocl.LaunchResult {
+	t.Helper()
+	spec, err := kernels.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.DefaultConfig(4, 4, 8)
+	cfg.Workers = workers
+	d, err := ocl.NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := spec.Build(d, kernels.Params{Scale: 0.05, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.RunVerified(d, 0)
+	if err != nil {
+		t.Fatalf("%s workers=%d: %v", name, workers, err)
+	}
+	return res.Launches
+}
+
+func TestParallelMatchesSequentialKernels(t *testing.T) {
+	for _, name := range []string{"vecadd", "saxpy", "sgemm", "knn", "gcn_aggr"} {
+		t.Run(name, func(t *testing.T) {
+			seq := runKernelSnapshot(t, name, 1)
+			for _, workers := range []int{3, 4} {
+				par := runKernelSnapshot(t, name, workers)
+				if len(seq) != len(par) {
+					t.Fatalf("launch count differs: %d vs %d", len(seq), len(par))
+				}
+				for i := range seq {
+					a, b := seq[i], par[i]
+					if a.SimCycles != b.SimCycles {
+						t.Errorf("workers=%d launch %d: cycles %d vs %d", workers, i, a.SimCycles, b.SimCycles)
+					}
+					if a.Stats != b.Stats {
+						t.Errorf("workers=%d launch %d: core stats differ:\nseq %+v\npar %+v", workers, i, a.Stats, b.Stats)
+					}
+					if a.L1 != b.L1 {
+						t.Errorf("workers=%d launch %d: L1 stats differ:\nseq %+v\npar %+v", workers, i, a.L1, b.L1)
+					}
+					if a.L2 != b.L2 {
+						t.Errorf("workers=%d launch %d: L2 stats differ:\nseq %+v\npar %+v", workers, i, a.L2, b.L2)
+					}
+					if a.DRAM != b.DRAM {
+						t.Errorf("workers=%d launch %d: DRAM stats differ:\nseq %+v\npar %+v", workers, i, a.DRAM, b.DRAM)
+					}
+				}
+			}
+		})
+	}
+}

@@ -54,6 +54,16 @@ type warp struct {
 	pendF   [32]uint64
 	ipdom   []ipdomEntry
 	last    uint64 // last issue cycle (GTO tiebreak)
+
+	// Ready-warp scoreboard cache: while a warp is stalled its pending
+	// register completions cannot change (they are only written when the
+	// warp itself issues), so the scheduler caches the outcome of the
+	// fetch/decode/scoreboard walk and skips it on every rescan until the
+	// warp issues again. wakeValid is cleared at issue and on warp reset.
+	wakeValid bool
+	wakeMem   bool   // decoded instruction is a memory op (LSU hazard applies)
+	wakePC    uint32 // pc the cache was computed for (safety cross-check)
+	wake      uint64 // earliest cycle the registers are ready
 }
 
 type barrier struct {
@@ -73,6 +83,22 @@ type CoreStats struct {
 	IdleAfterEnd uint64 // cycles after the core's last warp retired
 }
 
+// memDefer holds the shared-memory half of a core's in-flight memory
+// instruction under the parallel engine: the L1 part runs in the concurrent
+// phase, while the queued misses are committed to the banked L2/DRAM in
+// deterministic (cycle, core) order at the end of the cycle, patching the
+// load's destination scoreboard entry with the completion time.
+type memDefer struct {
+	active      bool
+	isLoad      bool
+	fp          bool // FLW: completion lands in the float scoreboard
+	wid         int
+	rd          int
+	nMiss       int
+	partialDone uint64 // max completion over the L1 hits
+	miss        [64]mem.MissInfo
+}
+
 type simCore struct {
 	id       int
 	warps    []warp
@@ -84,6 +110,12 @@ type simCore struct {
 	barriers [maxBarriers]barrier
 	blockMem bool // dominant stall reason of the last failed scan
 	stats    CoreStats
+
+	// Per-core scratch for the coalescing path, preallocated so the issue
+	// path never allocates and cores can execute concurrently.
+	addrBuf [64]uint32
+	lineBuf []uint32
+	md      memDefer
 }
 
 // Sim is one device instance. Memory and the cache hierarchy are injected
@@ -104,8 +136,8 @@ type Sim struct {
 	NoCoalesce bool
 
 	fullMask uint64
-	addrBuf  []uint32
-	lineBuf  []uint32
+	maxFU    uint64 // cached Lat.max(): the longest FU latency, for stall attribution
+	par      bool   // a parallel run is in flight: defer shared-memory timing
 }
 
 // New builds a device simulator over the given memory system.
@@ -122,12 +154,12 @@ func New(cfg Config, memory *mem.Memory, hier *mem.Hierarchy) (*Sim, error) {
 		hier:     hier,
 		cores:    make([]simCore, cfg.Cores),
 		fullMask: fullMask(cfg.Threads),
-		addrBuf:  make([]uint32, cfg.Threads),
-		lineBuf:  make([]uint32, 0, cfg.Threads),
+		maxFU:    uint64(cfg.Lat.max()),
 	}
 	for i := range s.cores {
 		s.cores[i].id = i
 		s.cores[i].warps = make([]warp, cfg.Warps)
+		s.cores[i].lineBuf = make([]uint32, 0, 64)
 	}
 	return s, nil
 }
@@ -250,6 +282,7 @@ func (s *Sim) resetWarp(w *warp, pc uint32, tmask uint64) {
 	w.ipdom = w.ipdom[:0]
 	w.active = true
 	w.barWait = false
+	w.wakeValid = false
 	w.pc = pc
 	w.tmask = tmask
 }
@@ -286,8 +319,43 @@ func (s *Sim) TotalStats() CoreStats {
 const noWake = ^uint64(0)
 
 // Run executes until every warp has retired. It returns a *Trap on
-// execution errors and a deadline error if MaxCycles is exceeded.
+// execution errors and a deadline error if MaxCycles is exceeded. When
+// Config.Workers (clamped to the core count) exceeds one and no observer is
+// installed, cores are simulated by the parallel engine; results are
+// byte-identical to the sequential engine for race-free kernels.
 func (s *Sim) Run() error {
+	if w := s.resolveWorkers(s.cfg.Workers); w > 1 {
+		return s.runParallel(w)
+	}
+	return s.runSequential()
+}
+
+// RunParallel runs with an explicit worker count, overriding Config.Workers.
+// workers <= 1 forces the sequential engine.
+func (s *Sim) RunParallel(workers int) error {
+	if w := s.resolveWorkers(workers); w > 1 {
+		return s.runParallel(w)
+	}
+	return s.runSequential()
+}
+
+// resolveWorkers clamps a requested worker count to the usable range. An
+// installed observer forces the sequential engine: per-issue callbacks are
+// specified to arrive in the global (cycle, core) issue order.
+func (s *Sim) resolveWorkers(workers int) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > s.cfg.Cores {
+		workers = s.cfg.Cores
+	}
+	if s.observer != nil {
+		workers = 1
+	}
+	return workers
+}
+
+func (s *Sim) runSequential() error {
 	limit := s.cfg.MaxCycles
 	if limit == 0 {
 		limit = 1 << 40
@@ -387,7 +455,7 @@ func (s *Sim) issueOne(c *simCore) (bool, uint64, error) {
 	if gto {
 		start = c.cur
 	}
-	maxFU := uint64(s.cfg.Lat.max())
+	maxFU := s.maxFU
 
 	for k := 0; k < n; k++ {
 		wid := start + k
@@ -398,37 +466,65 @@ func (s *Sim) issueOne(c *simCore) (bool, uint64, error) {
 		if !w.active || w.barWait {
 			continue
 		}
-		if w.pc < s.progBase || w.pc-s.progBase >= uint32(len(s.prog))*4 || w.pc%4 != 0 {
-			return false, 0, &Trap{Cycle: s.cycle, Core: c.id, Warp: wid, PC: w.pc, Reason: "instruction fetch outside program"}
-		}
-		idx := (w.pc - s.progBase) / 4
-		in := s.prog[idx]
-		if in.Op == isa.OpInvalid {
-			return false, 0, &Trap{Cycle: s.cycle, Core: c.id, Warp: wid, PC: w.pc, Reason: "executed data word / invalid instruction"}
-		}
-		m := s.meta[idx]
-		// Scoreboard: all read and written registers must be ready.
-		if ready := regsReadyAt(w, in, m); ready > s.cycle {
-			if ready < wake {
-				wake = ready
-				blockMem = m&mIsMem != 0 || ready > s.cycle+maxFU
-			} else if ready > s.cycle+maxFU {
-				blockMem = true
+		var in isa.Inst
+		if w.wakeValid && w.wakePC == w.pc {
+			// Stall cache hit: the warp failed the scoreboard at this pc on
+			// an earlier scan and nothing it depends on can have changed, so
+			// skip fetch/decode and reuse the cached ready time. The stall
+			// attribution below mirrors the cold path exactly.
+			if ready := w.wake; ready > s.cycle {
+				if ready < wake {
+					wake = ready
+					blockMem = w.wakeMem || ready > s.cycle+maxFU
+				} else if ready > s.cycle+maxFU {
+					blockMem = true
+				}
+				continue
 			}
-			continue
-		}
-		// Structural hazard: the LSU accepts one memory instruction at a
-		// time (it streams line requests at 1/cycle).
-		if m&mIsMem != 0 && c.lsuFree > s.cycle {
-			if c.lsuFree < wake {
-				wake = c.lsuFree
-				blockMem = true
+			if w.wakeMem && c.lsuFree > s.cycle {
+				if c.lsuFree < wake {
+					wake = c.lsuFree
+					blockMem = true
+				}
+				continue
 			}
-			continue
+			in = s.prog[(w.pc-s.progBase)/4]
+		} else {
+			if w.pc < s.progBase || w.pc-s.progBase >= uint32(len(s.prog))*4 || w.pc%4 != 0 {
+				return false, 0, &Trap{Cycle: s.cycle, Core: c.id, Warp: wid, PC: w.pc, Reason: "instruction fetch outside program"}
+			}
+			idx := (w.pc - s.progBase) / 4
+			in = s.prog[idx]
+			if in.Op == isa.OpInvalid {
+				return false, 0, &Trap{Cycle: s.cycle, Core: c.id, Warp: wid, PC: w.pc, Reason: "executed data word / invalid instruction"}
+			}
+			m := s.meta[idx]
+			// Scoreboard: all read and written registers must be ready.
+			if ready := regsReadyAt(w, in, m); ready > s.cycle {
+				w.wakeValid, w.wakePC, w.wake, w.wakeMem = true, w.pc, ready, m&mIsMem != 0
+				if ready < wake {
+					wake = ready
+					blockMem = m&mIsMem != 0 || ready > s.cycle+maxFU
+				} else if ready > s.cycle+maxFU {
+					blockMem = true
+				}
+				continue
+			}
+			// Structural hazard: the LSU accepts one memory instruction at a
+			// time (it streams line requests at 1/cycle).
+			if m&mIsMem != 0 && c.lsuFree > s.cycle {
+				w.wakeValid, w.wakePC, w.wake, w.wakeMem = true, w.pc, 0, true
+				if c.lsuFree < wake {
+					wake = c.lsuFree
+					blockMem = true
+				}
+				continue
+			}
 		}
 		if err := s.execute(c, wid, w, in); err != nil {
 			return false, 0, err
 		}
+		w.wakeValid = false
 		w.last = s.cycle
 		if gto {
 			c.cur = wid

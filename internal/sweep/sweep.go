@@ -76,6 +76,13 @@ type Options struct {
 	Verify bool
 	// Workers bounds parallel simulations; 0 means GOMAXPROCS.
 	Workers int
+	// SimWorkers is the per-simulation core-parallelism (sim.Config.Workers)
+	// each run gets. 0 divides the host CPUs over the sweep workers, so a
+	// wide sweep keeps one goroutine per simulation (task parallelism
+	// saturates the host) while a Workers=1 sweep hands the whole machine
+	// to each device — useful for the huge tail configurations. Negative
+	// forces the sequential engine.
+	SimWorkers int
 	// Progress, if non-nil, is called after each completed run.
 	Progress func(done, total int)
 	// ConfigTemplate customizes the non-geometry simulator parameters
@@ -103,6 +110,12 @@ func (o *Options) fill() {
 	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.SimWorkers == 0 {
+		o.SimWorkers = runtime.GOMAXPROCS(0) / o.Workers
+	}
+	if o.SimWorkers < 1 {
+		o.SimWorkers = 1
 	}
 	if o.DispatchOverhead < 0 {
 		o.DispatchOverhead = -1
@@ -196,6 +209,9 @@ func runOne(opts Options, hw core.HWInfo, kname string, mapper core.Mapper) Reco
 	} else {
 		cfg = sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
 	}
+	// The sweep already task-parallelizes across runs; share the host CPUs
+	// between the two levels instead of oversubscribing (Options.SimWorkers).
+	cfg.Workers = opts.SimWorkers
 	d, err := ocl.NewDevice(cfg)
 	if err != nil {
 		rec.Err = err.Error()
