@@ -253,6 +253,79 @@ func benchIssueRate(b *testing.B, workers int) {
 	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
 }
 
+// BenchmarkSimulatorCommitSharded / BenchmarkSimulatorCommitSerial compare
+// the two commit-phase disciplines of the parallel engine on a DRAM-heavy
+// multi-core device: sharded applies each cycle's deferred misses per L2
+// bank and DRAM channel on the worker pool, serial (CommitWorkers=1, the
+// PR-1 discipline) walks them single-threaded in global order. Results are
+// byte-identical — both report the simulated cycle count as the
+// device_cycles metric, which must match between the two benchmarks
+// (TestParallelShardedCommitMatrix enforces the full contract); the
+// wall-clock delta is the commit-sharding win and scales with host cores
+// (on a single-CPU host the two collapse to spin-barrier overhead).
+func BenchmarkSimulatorCommitSharded(b *testing.B) { benchCommit(b, 0) }
+func BenchmarkSimulatorCommitSerial(b *testing.B)  { benchCommit(b, 1) }
+
+func benchCommit(b *testing.B, commitWorkers int) {
+	b.Helper()
+	cfg := sim.DefaultConfig(8, 8, 8)
+	cfg.Workers = 4
+	cfg.CommitWorkers = commitWorkers
+	// Each warp streams stores+loads over its own 4 KiB region at line
+	// stride; the 2 MiB aggregate footprint defeats the 128 KiB L2, so
+	// nearly every cycle defers a batch of misses into the commit phase.
+	prog := `
+		csrr s0, cid
+		slli s0, s0, 15
+		csrr t0, wid
+		slli t1, t0, 12
+		add  s0, s0, t1
+		csrr t0, tid
+		slli t1, t0, 9
+		add  s0, s0, t1
+		li   t2, 0x100000
+		add  s0, s0, t2
+		li   t3, 8
+	loop:
+		lw   t4, 0(s0)
+		add  t4, t4, t3
+		sw   t4, 0(s0)
+		addi s0, s0, 64
+		addi t3, t3, -1
+		bnez t3, loop
+		ecall
+	`
+	p := asm.MustAssemble(prog, 0x1000, nil)
+	memory := mem.NewMemory(1 << 22)
+	hier, err := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(cfg, memory, hier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+		b.Fatal(err)
+	}
+	var issued uint64
+	for i := 0; i < b.N; i++ {
+		for c := 0; c < cfg.Cores; c++ {
+			for w := 0; w < cfg.Warps; w++ {
+				if err := s.ActivateWarp(c, w, 0x1000, 0xFF); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	issued = s.TotalStats().Issued
+	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
+	b.ReportMetric(float64(s.Cycle())/float64(b.N), "device_cycles")
+}
+
 // BenchmarkSimulatorIssuePath measures the steady-state issue path with all
 // setup (device build, assembly, input generation) hoisted out of the loop:
 // each iteration re-activates the warps of a prebuilt device and runs the

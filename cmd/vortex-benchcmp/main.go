@@ -1,0 +1,147 @@
+// Command vortex-benchcmp is the CI benchmark regression gate: it compares
+// a freshly measured scripts/bench.sh JSON report against the checked-in
+// baseline (BENCH_baseline.json) and fails when any benchmark's median
+// wall-clock regresses beyond the threshold.
+//
+// Usage:
+//
+//	vortex-benchcmp -baseline BENCH_baseline.json -current out.json [-threshold 0.15]
+//
+// Benchmarks present in only one file are reported but never fail the
+// gate, so adding or retiring benchmarks does not require lock-step
+// baseline updates. Cross-machine wall-clock comparisons are noisy, so a
+// CPU-model mismatch between the two reports is surfaced as a warning and,
+// with -skip-cpu-mismatch (what CI uses), downgrades the gate to a report:
+// regressions are printed but do not fail the job. Regenerate the baseline
+// with scripts/bench.sh on the enforcing hardware to arm the gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// report mirrors the JSON scripts/bench.sh emits. Each result row keeps
+// its metrics as a loose map: every (value, unit) pair of the `go test
+// -bench` line becomes one entry, keyed by the sanitized unit.
+type report struct {
+	Count     int                      `json:"count"`
+	Benchtime string                   `json:"benchtime"`
+	Results   []map[string]interface{} `json:"results"`
+	CPU       string                   `json:"cpu"`
+}
+
+func readReport(path string) (*report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// medians extracts the per-benchmark median of one metric.
+func medians(r *report, metric string) map[string]float64 {
+	samples := map[string][]float64{}
+	for _, row := range r.Results {
+		name, _ := row["name"].(string)
+		v, ok := row[metric].(float64)
+		if name == "" || !ok {
+			continue
+		}
+		samples[name] = append(samples[name], v)
+	}
+	out := make(map[string]float64, len(samples))
+	for name, vs := range samples {
+		sort.Float64s(vs)
+		n := len(vs)
+		if n%2 == 1 {
+			out[name] = vs[n/2]
+		} else {
+			out[name] = (vs[n/2-1] + vs[n/2]) / 2
+		}
+	}
+	return out
+}
+
+// compare returns the regression report lines and whether the gate fails.
+func compare(base, cur map[string]float64, threshold float64) (lines []string, failed bool) {
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b := base[name]
+		c, ok := cur[name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  %-44s baseline-only (%.0f), skipped", name, b))
+			continue
+		}
+		ratio := c / b
+		verdict := "ok"
+		if ratio > 1+threshold {
+			verdict = "REGRESSION"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("  %-44s %12.0f -> %12.0f  (%+.1f%%)  %s",
+			name, b, c, (ratio-1)*100, verdict))
+	}
+	for name := range cur {
+		if _, ok := base[name]; !ok {
+			lines = append(lines, fmt.Sprintf("  %-44s new benchmark (%.0f), no baseline", name, cur[name]))
+		}
+	}
+	return lines, failed
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline report")
+	currentPath := flag.String("current", "", "freshly measured report to gate")
+	metric := flag.String("metric", "ns_per_op", "metric to compare medians of")
+	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = +15%)")
+	skipCPUMismatch := flag.Bool("skip-cpu-mismatch", false, "report but do not fail when the two reports come from different CPU models")
+	flag.Parse()
+
+	if *currentPath == "" {
+		fmt.Fprintln(os.Stderr, "vortex-benchcmp: -current is required")
+		os.Exit(2)
+	}
+	base, err := readReport(*baselinePath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-benchcmp:", err)
+		os.Exit(2)
+	}
+	cur, err := readReport(*currentPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-benchcmp:", err)
+		os.Exit(2)
+	}
+	mismatch := base.CPU != cur.CPU
+	if mismatch {
+		fmt.Printf("warning: cpu mismatch (baseline %q, current %q); wall-clock gate is noisy across machines\n",
+			base.CPU, cur.CPU)
+	}
+
+	lines, failed := compare(medians(base, *metric), medians(cur, *metric), *threshold)
+	fmt.Printf("benchmark gate: %s medians, threshold +%.0f%%\n", *metric, *threshold*100)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		if mismatch && *skipCPUMismatch {
+			fmt.Printf("\nSKIPPED: regressions beyond +%.0f%% on mismatched hardware; regenerate the baseline to arm the gate\n",
+				*threshold*100)
+			return
+		}
+		fmt.Printf("\nFAIL: at least one benchmark regressed beyond +%.0f%%\n", *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no benchmark regressed beyond the threshold")
+}

@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func reportOf(rows ...map[string]interface{}) *report {
+	return &report{Count: len(rows), Results: rows}
+}
+
+func row(name string, ns float64) map[string]interface{} {
+	return map[string]interface{}{"name": name, "ns_per_op": ns}
+}
+
+func TestMediansOddEvenAndMissingMetric(t *testing.T) {
+	r := reportOf(
+		row("BenchmarkA", 100), row("BenchmarkA", 300), row("BenchmarkA", 200),
+		row("BenchmarkB", 10), row("BenchmarkB", 20),
+		map[string]interface{}{"name": "BenchmarkC"}, // no ns_per_op: dropped
+	)
+	m := medians(r, "ns_per_op")
+	if m["BenchmarkA"] != 200 {
+		t.Errorf("odd median = %v, want 200", m["BenchmarkA"])
+	}
+	if m["BenchmarkB"] != 15 {
+		t.Errorf("even median = %v, want 15", m["BenchmarkB"])
+	}
+	if _, ok := m["BenchmarkC"]; ok {
+		t.Error("metric-less benchmark produced a median")
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := map[string]float64{"fast": 100, "slow": 1000, "gone": 50}
+	cur := map[string]float64{"fast": 114, "slow": 1200, "fresh": 70}
+
+	lines, failed := compare(base, cur, 0.15)
+	if !failed {
+		t.Error("20% regression on 'slow' did not fail the gate")
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"REGRESSION", "baseline-only", "new benchmark"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("report missing %q:\n%s", want, joined)
+		}
+	}
+
+	// 14% is inside the 15% threshold; removing the regressing entry passes.
+	delete(base, "slow")
+	if _, failed := compare(base, cur, 0.15); failed {
+		t.Error("within-threshold drift failed the gate")
+	}
+}
+
+func TestReadReportParsesBenchShOutput(t *testing.T) {
+	// The exact shape scripts/bench.sh emits, including metadata keys.
+	src := `{
+	  "count": 2,
+	  "benchtime": "1x",
+	  "results": [
+	    {"name": "BenchmarkFig2Vecadd", "iters": 1, "ns_per_op": 84531390, "ratio_naive": 1.250},
+	    {"name": "BenchmarkFig2Vecadd", "iters": 1, "ns_per_op": 65661746, "ratio_naive": 1.250}
+	  ],
+	  "goos": "linux",
+	  "goarch": "amd64",
+	  "cpu": "Intel(R) Xeon(R) Processor @ 2.10GHz"
+	}`
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := readReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Count != 2 || r.CPU == "" || len(r.Results) != 2 {
+		t.Errorf("parsed report = %+v", r)
+	}
+	m := medians(r, "ns_per_op")
+	want := (84531390.0 + 65661746.0) / 2
+	if m["BenchmarkFig2Vecadd"] != want {
+		t.Errorf("median = %v, want %v", m["BenchmarkFig2Vecadd"], want)
+	}
+	if medians(r, "ratio_naive")["BenchmarkFig2Vecadd"] != 1.250 {
+		t.Error("alternate metric not extracted")
+	}
+}

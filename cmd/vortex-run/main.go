@@ -29,9 +29,10 @@ func main() {
 	seed := flag.Int64("seed", 42, "input seed")
 	compare := flag.Bool("compare", false, "run all three mappings and print the ratio table")
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel (0 = all CPUs, 1 = sequential)")
+	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, *workers); err != nil {
+	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, *workers, *commitWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
 	}
@@ -50,16 +51,20 @@ func mapperByName(name string) (core.Mapper, error) {
 }
 
 // deviceConfig builds the simulator config for hw; workers > 0 overrides
-// the core-parallelism of the simulation engine (default: all host CPUs).
-func deviceConfig(hw core.HWInfo, workers int) sim.Config {
+// the core-parallelism of the simulation engine (default: all host CPUs)
+// and commitWorkers > 0 the commit-phase sharding.
+func deviceConfig(hw core.HWInfo, workers, commitWorkers int) sim.Config {
 	cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
 	if workers > 0 {
 		cfg.Workers = workers
 	}
+	if commitWorkers > 0 {
+		cfg.CommitWorkers = commitWorkers
+	}
 	return cfg
 }
 
-func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool, workers int) error {
+func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool, workers, commitWorkers int) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -69,14 +74,14 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 		return err
 	}
 	if compare {
-		return runCompare(hw, spec, scale, seed, workers)
+		return runCompare(hw, spec, scale, seed, workers, commitWorkers)
 	}
 	m, err := mapperByName(mapperName)
 	if err != nil {
 		return err
 	}
 
-	d, err := ocl.NewDevice(deviceConfig(hw, workers))
+	d, err := ocl.NewDevice(deviceConfig(hw, workers, commitWorkers))
 	if err != nil {
 		return err
 	}
@@ -112,7 +117,7 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 	return nil
 }
 
-func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, workers int) error {
+func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, workers, commitWorkers int) error {
 	fmt.Printf("kernel %s on %s (hp=%d): comparing mappings\n\n", spec.Name, hw.Name(), hw.HP())
 	type row struct {
 		name   string
@@ -126,7 +131,7 @@ func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, wo
 		{name: "ours", mapper: core.Auto{}},
 	}
 	for i := range rows {
-		d, err := ocl.NewDevice(deviceConfig(hw, workers))
+		d, err := ocl.NewDevice(deviceConfig(hw, workers, commitWorkers))
 		if err != nil {
 			return err
 		}

@@ -36,6 +36,7 @@ func main() {
 	progress := flag.Bool("progress", false, "print progress to stderr")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	simWorkers := flag.Int("sim-workers", 0, "core-parallel threads per simulation (0 = auto-divide CPUs, <0 = sequential)")
+	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel per simulation (0 = follow -sim-workers, 1 = global commit)")
 	replot := flag.String("replot", "", "re-render tables/violins from a previously written CSV instead of simulating")
 	flag.Parse()
 
@@ -72,13 +73,14 @@ func main() {
 		}
 	}
 	opts := sweep.Options{
-		Configs:    sweep.Subsample(sweep.Grid(), *nConfigs),
-		Kernels:    names,
-		Scale:      *scale,
-		Seed:       *seed,
-		Verify:     *verify,
-		Workers:    *workers,
-		SimWorkers: *simWorkers,
+		Configs:       sweep.Subsample(sweep.Grid(), *nConfigs),
+		Kernels:       names,
+		Scale:         *scale,
+		Seed:          *seed,
+		Verify:        *verify,
+		Workers:       *workers,
+		SimWorkers:    *simWorkers,
+		CommitWorkers: *commitWorkers,
 	}
 	if *progress {
 		start := time.Now()

@@ -29,15 +29,16 @@ func main() {
 	strategy := flag.String("strategy", "exhaustive", "search strategy: exhaustive or hillclimb")
 	seed := flag.Int64("seed", 42, "input seed")
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel per probe (0 = all CPUs, 1 = sequential)")
+	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *scale, *strategy, *seed, *workers); err != nil {
+	if err := run(*cfgName, *kernel, *scale, *strategy, *seed, *workers, *commitWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-tuner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgName, kernel string, scale float64, strategy string, seed int64, workers int) error {
+func run(cfgName, kernel string, scale float64, strategy string, seed int64, workers, commitWorkers int) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -49,6 +50,9 @@ func run(cfgName, kernel string, scale float64, strategy string, seed int64, wor
 	cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
 	if workers > 0 {
 		cfg.Workers = workers
+	}
+	if commitWorkers > 0 {
+		cfg.CommitWorkers = commitWorkers
 	}
 
 	// Discover the gws from a throwaway build.

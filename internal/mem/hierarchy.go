@@ -48,20 +48,34 @@ type DRAMStats struct {
 	BusyCycles uint64
 }
 
+// dramChannel is the timing and statistics state of one memory channel.
+// Channels are fully independent — the bank-sharded commit engine drives
+// distinct channels from concurrent workers — so each channel's state is
+// padded onto its own cache line.
+type dramChannel struct {
+	free  uint64 // next cycle the channel can start a transfer
+	stats DRAMStats
+	_     [32]byte
+}
+
 // Hierarchy is the assembled memory system for one device: per-core private
-// L1 front-ends over a banked shared L2 over DRAM.
+// L1 front-ends over a banked shared L2 over per-channel DRAM.
 //
-// The access path is split in two so a parallel simulation engine can run
+// The access path is decomposed so a parallel simulation engine can run
 // core pipelines concurrently while keeping the shared state deterministic:
 //
 //   - L1Access touches only the requesting core's private L1 and is safe to
 //     call concurrently for distinct cores.
-//   - SharedAccess completes an L1 miss through the banked L2 and DRAM. It
-//     mutates shared state and must be called single-threaded, in the
-//     deterministic global request order (ascending cycle, then core id) —
-//     the same order the sequential engine produces naturally.
-//
-// Access composes the two for sequential callers.
+//   - BankAbsorbWriteback/BankFill touch only one L2 bank (BankOf) and are
+//     safe to call concurrently for distinct banks, as long as each bank
+//     sees its requests in the global (cycle, core) order restricted to
+//     that bank.
+//   - ChannelRead/ChannelWriteback touch only one DRAM channel (ChannelOf)
+//     and are safe to call concurrently for distinct channels under the
+//     same restricted-order rule.
+//   - SharedAccess composes the bank and channel halves in the global
+//     order for single-threaded callers; Access composes everything for
+//     fully sequential callers.
 type Hierarchy struct {
 	cfg       HierarchyConfig
 	l1        []*Cache
@@ -69,8 +83,7 @@ type Hierarchy struct {
 	bankBits  uint
 	bankMask  uint32
 	lineShift uint
-	dramFree  []uint64 // next free cycle per memory channel
-	DRAM      DRAMStats
+	dram      []dramChannel
 }
 
 // NewHierarchy builds the hierarchy for cores L1 instances.
@@ -117,7 +130,7 @@ func NewHierarchy(cores int, cfg HierarchyConfig) (*Hierarchy, error) {
 	if ch < 1 {
 		ch = 1
 	}
-	h.dramFree = make([]uint64, ch)
+	h.dram = make([]dramChannel, ch)
 	return h, nil
 }
 
@@ -154,6 +167,23 @@ func (h *Hierarchy) L2Banks() int { return len(h.banks) }
 
 // L2BankStats returns the statistics of one L2 bank.
 func (h *Hierarchy) L2BankStats(bank int) CacheStats { return h.banks[bank].Stats }
+
+// DRAMChannels returns the number of independent memory channels.
+func (h *Hierarchy) DRAMChannels() int { return len(h.dram) }
+
+// DRAMChannelStats returns the statistics of one memory channel.
+func (h *Hierarchy) DRAMChannelStats(ch int) DRAMStats { return h.dram[ch].stats }
+
+// DRAM returns the main-memory statistics, summed over channels.
+func (h *Hierarchy) DRAM() DRAMStats {
+	var s DRAMStats
+	for i := range h.dram {
+		s.LineReads += h.dram[i].stats.LineReads
+		s.Writebacks += h.dram[i].stats.Writebacks
+		s.BusyCycles += h.dram[i].stats.BusyCycles
+	}
+	return s
+}
 
 // L2Stats returns the shared L2 statistics, summed over banks.
 func (h *Hierarchy) L2Stats() CacheStats {
@@ -212,27 +242,73 @@ func (h *Hierarchy) L1Access(core int, addr uint32, write bool, now uint64) (Acc
 	return AccessResult{}, true, MissInfo{Addr: addr, Write: write, At: t, WB: wb, WBAddr: victim}
 }
 
-// SharedAccess walks an L1 miss through the banked L2 and DRAM and returns
-// its completion. Calls must be single-threaded and globally ordered by
-// (cycle, core) for deterministic LRU, bandwidth and statistics state.
+// SharedAccess walks an L1 miss through the banked L2 and per-channel DRAM
+// and returns its completion. Calls must be single-threaded and globally
+// ordered by (cycle, core) for deterministic LRU, bandwidth and statistics
+// state. It is the sequential composition of the bank-local and
+// channel-local commit primitives below — a sharded commit engine that
+// applies the same primitives in the same order restricted to each
+// bank/channel produces byte-identical state.
 func (h *Hierarchy) SharedAccess(m MissInfo) AccessResult {
 	if m.WB {
 		// Dirty L1 victims are absorbed by the L2 (or DRAM if disabled).
-		h.writebackToL2(m.WBAddr, m.At)
+		if v, wb := h.BankAbsorbWriteback(m.WBAddr, m.At); wb {
+			h.ChannelWriteback(v, m.At)
+		}
 	}
+	res, fetchAt, needDRAM, victim, hasVictim := h.BankFill(m)
+	if hasVictim {
+		h.ChannelWriteback(victim, fetchAt)
+	}
+	if needDRAM {
+		res.Done = h.ChannelRead(m.Addr, fetchAt)
+	}
+	return res
+}
+
+// BankAbsorbWriteback performs the bank-local half of retiring a dirty L1
+// victim: the line is looked up in (or allocated dirty into) its L2 bank
+// without stalling the requester. It returns the device address of a dirty
+// L2 line the allocation displaced, which the caller must pass to
+// ChannelWriteback at the same cycle. With L2Disabled the L1 victim itself
+// goes straight to DRAM and no bank state is touched. Calls touch only
+// bank BankOf(addr).
+func (h *Hierarchy) BankAbsorbWriteback(addr uint32, now uint64) (uint32, bool) {
 	if h.cfg.L2Disabled {
-		return AccessResult{Done: h.dramAccess(m.Addr, m.At)}
+		return addr, true
+	}
+	bank, baddr := h.bankOf(addr)
+	b := h.banks[bank]
+	if b.lookup(baddr, true) {
+		return 0, false
+	}
+	if wb, victim := b.fill(baddr, true); wb {
+		return h.bankVictim(bank, victim), true
+	}
+	return 0, false
+}
+
+// BankFill performs the bank-local half of completing an L1 miss: the L2
+// lookup and, on an L2 miss, the tag fill. On an L2 hit res is final. On a
+// miss the caller must fetch the line from DRAM at cycle fetchAt
+// (ChannelRead gives the completion) after writing back the displaced
+// dirty victim, if any (ChannelWriteback at fetchAt). Calls touch only
+// bank BankOf(m.Addr); with L2Disabled no bank state is touched and the
+// fetch leaves at m.At.
+func (h *Hierarchy) BankFill(m MissInfo) (res AccessResult, fetchAt uint64, needDRAM bool, victim uint32, hasVictim bool) {
+	if h.cfg.L2Disabled {
+		return AccessResult{}, m.At, true, 0, false
 	}
 	t := m.At + uint64(h.cfg.L2.HitLatency)
 	bank, baddr := h.bankOf(m.Addr)
 	b := h.banks[bank]
 	if b.lookup(baddr, m.Write) {
-		return AccessResult{Done: t, L2Hit: true}
+		return AccessResult{Done: t, L2Hit: true}, 0, false, 0, false
 	}
-	if wb, victim := b.fill(baddr, m.Write); wb {
-		h.dramWriteback(h.bankVictim(bank, victim), t)
+	if wb, v := b.fill(baddr, m.Write); wb {
+		victim, hasVictim = h.bankVictim(bank, v), true
 	}
-	return AccessResult{Done: h.dramAccess(m.Addr, t)}
+	return AccessResult{}, t, true, victim, hasVictim
 }
 
 // Access performs the full timing walk for one cache-line request issued by
@@ -260,56 +336,45 @@ func (h *Hierarchy) bankVictim(bank int, baddr uint32) uint32 {
 	return ((baddr>>h.lineShift)<<h.bankBits | uint32(bank)) << h.lineShift
 }
 
-// writebackToL2 retires a dirty L1 victim into the L2 without stalling the
-// requester; if it misses in L2, the line is allocated there (dirty) and may
-// in turn evict to DRAM.
-func (h *Hierarchy) writebackToL2(addr uint32, now uint64) {
-	if h.cfg.L2Disabled {
-		h.dramWriteback(addr, now)
-		return
-	}
-	bank, baddr := h.bankOf(addr)
-	b := h.banks[bank]
-	if b.lookup(baddr, true) {
-		return
-	}
-	if wb, victim := b.fill(baddr, true); wb {
-		h.dramWriteback(h.bankVictim(bank, victim), now)
-	}
+// BankOf returns the index of the L2 bank that services addr.
+func (h *Hierarchy) BankOf(addr uint32) int {
+	return int((addr >> h.lineShift) & h.bankMask)
 }
 
-// channelOf interleaves cache lines across memory channels.
-func (h *Hierarchy) channelOf(addr uint32) int {
-	return int((addr >> h.lineShift) % uint32(len(h.dramFree)))
+// ChannelOf returns the index of the DRAM channel that services addr;
+// cache lines are interleaved across channels.
+func (h *Hierarchy) ChannelOf(addr uint32) int {
+	return int((addr >> h.lineShift) % uint32(len(h.dram)))
 }
 
-// dramAccess models a line fetch: it waits for its channel, occupies it
-// for the transfer, and completes after latency + transfer.
-func (h *Hierarchy) dramAccess(addr uint32, now uint64) uint64 {
-	ch := h.channelOf(addr)
+// ChannelRead models a line fetch on addr's channel: the request waits for
+// the channel, occupies it for the transfer, and completes after
+// latency + transfer. Calls touch only channel ChannelOf(addr).
+func (h *Hierarchy) ChannelRead(addr uint32, now uint64) uint64 {
+	c := &h.dram[h.ChannelOf(addr)]
 	transfer := h.transferCycles()
 	start := now
-	if h.dramFree[ch] > start {
-		start = h.dramFree[ch]
+	if c.free > start {
+		start = c.free
 	}
-	h.dramFree[ch] = start + transfer
-	h.DRAM.LineReads++
-	h.DRAM.BusyCycles += transfer
+	c.free = start + transfer
+	c.stats.LineReads++
+	c.stats.BusyCycles += transfer
 	return start + uint64(h.cfg.DRAM.Latency) + transfer
 }
 
-// dramWriteback occupies channel bandwidth for an evicted dirty line
-// without delaying the requester.
-func (h *Hierarchy) dramWriteback(addr uint32, now uint64) {
-	ch := h.channelOf(addr)
+// ChannelWriteback occupies channel bandwidth for an evicted dirty line
+// without delaying the requester. Calls touch only channel ChannelOf(addr).
+func (h *Hierarchy) ChannelWriteback(addr uint32, now uint64) {
+	c := &h.dram[h.ChannelOf(addr)]
 	transfer := h.transferCycles()
 	start := now
-	if h.dramFree[ch] > start {
-		start = h.dramFree[ch]
+	if c.free > start {
+		start = c.free
 	}
-	h.dramFree[ch] = start + transfer
-	h.DRAM.Writebacks++
-	h.DRAM.BusyCycles += transfer
+	c.free = start + transfer
+	c.stats.Writebacks++
+	c.stats.BusyCycles += transfer
 }
 
 func (h *Hierarchy) transferCycles() uint64 {

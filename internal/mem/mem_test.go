@@ -209,8 +209,8 @@ func TestHierarchyDRAMBandwidthSerializes(t *testing.T) {
 	if r2.Done != r1.Done+transfer {
 		t.Errorf("second miss done = %d, want %d (serialized by bandwidth)", r2.Done, r1.Done+transfer)
 	}
-	if h.DRAM.LineReads != 2 {
-		t.Errorf("line reads = %d", h.DRAM.LineReads)
+	if h.DRAM().LineReads != 2 {
+		t.Errorf("line reads = %d", h.DRAM().LineReads)
 	}
 }
 

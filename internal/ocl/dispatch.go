@@ -240,7 +240,7 @@ func (d *Device) EnqueueNDRange(k *Kernel, gws, lws int) (*LaunchResult, error) 
 	startStats := d.sim.TotalStats()
 	startL1 := d.hier.TotalL1Stats()
 	startL2 := d.hier.L2Stats()
-	startDRAM := d.hier.DRAM
+	startDRAM := d.hier.DRAM()
 
 	if err := d.sim.Run(); err != nil {
 		return nil, d.annotateTrap(err, prog)
@@ -260,7 +260,7 @@ func (d *Device) EnqueueNDRange(k *Kernel, gws, lws int) (*LaunchResult, error) 
 		L2:             diffCacheStats(d.hier.L2Stats(), startL2),
 	}
 	res.Cycles = res.SimCycles + d.DispatchOverhead
-	dram := d.hier.DRAM
+	dram := d.hier.DRAM()
 	res.DRAM = mem.DRAMStats{
 		LineReads:  dram.LineReads - startDRAM.LineReads,
 		Writebacks: dram.Writebacks - startDRAM.Writebacks,

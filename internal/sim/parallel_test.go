@@ -9,15 +9,34 @@ import (
 )
 
 // snapshot captures everything the determinism contract covers: the device
-// cycle, every core's pipeline counters, every cache level's statistics and
-// the DRAM counters.
+// cycle, every core's pipeline counters, every cache level's statistics
+// (down to individual L2 banks) and the DRAM counters (down to individual
+// channels).
 type snapshot struct {
 	cycles  uint64
 	cores   []CoreStats
 	l1      []mem.CacheStats
 	l2      mem.CacheStats
+	banks   []mem.CacheStats
 	dram    mem.DRAMStats
+	dramCh  []mem.DRAMStats
 	memData []byte
+}
+
+// takeSnapshot collects the contract state of a finished run.
+func takeSnapshot(s *Sim, hier *mem.Hierarchy, cores int) snapshot {
+	snap := snapshot{cycles: s.Cycle(), l2: hier.L2Stats(), dram: hier.DRAM()}
+	for c := 0; c < cores; c++ {
+		snap.cores = append(snap.cores, s.CoreStatsOf(c))
+		snap.l1 = append(snap.l1, hier.L1Stats(c))
+	}
+	for b := 0; b < hier.L2Banks(); b++ {
+		snap.banks = append(snap.banks, hier.L2BankStats(b))
+	}
+	for ch := 0; ch < hier.DRAMChannels(); ch++ {
+		snap.dramCh = append(snap.dramCh, hier.DRAMChannelStats(ch))
+	}
+	return snap
 }
 
 func runSnapshot(t *testing.T, cfg Config, prog string, activate func(*Sim) error, workers int) snapshot {
@@ -44,11 +63,7 @@ func runSnapshot(t *testing.T, cfg Config, prog string, activate func(*Sim) erro
 	if err := s.RunParallel(workers); err != nil {
 		t.Fatalf("workers=%d: %v", workers, err)
 	}
-	snap := snapshot{cycles: s.Cycle(), l2: hier.L2Stats(), dram: hier.DRAM}
-	for c := 0; c < cfg.Cores; c++ {
-		snap.cores = append(snap.cores, s.CoreStatsOf(c))
-		snap.l1 = append(snap.l1, hier.L1Stats(c))
-	}
+	snap := takeSnapshot(s, hier, cfg.Cores)
 	snap.memData, err = memory.ReadBytes(0x8000, 1<<16)
 	if err != nil {
 		t.Fatal(err)
@@ -72,8 +87,18 @@ func diffSnapshots(t *testing.T, name string, seq, par snapshot) {
 	if seq.l2 != par.l2 {
 		t.Errorf("%s: L2 stats differ:\nseq %+v\npar %+v", name, seq.l2, par.l2)
 	}
+	for b := range seq.banks {
+		if seq.banks[b] != par.banks[b] {
+			t.Errorf("%s: L2 bank %d stats differ:\nseq %+v\npar %+v", name, b, seq.banks[b], par.banks[b])
+		}
+	}
 	if seq.dram != par.dram {
 		t.Errorf("%s: DRAM stats differ:\nseq %+v\npar %+v", name, seq.dram, par.dram)
+	}
+	for ch := range seq.dramCh {
+		if seq.dramCh[ch] != par.dramCh[ch] {
+			t.Errorf("%s: DRAM channel %d stats differ:\nseq %+v\npar %+v", name, ch, seq.dramCh[ch], par.dramCh[ch])
+		}
 	}
 	for i := range seq.memData {
 		if seq.memData[i] != par.memData[i] {
@@ -210,6 +235,58 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelShardedCommitMatrix is the bare-simulator half of the
+// sharded-commit determinism harness: across {1,2,4,8} L2 banks x {1,2,4}
+// DRAM channels (plus the L2-disabled bypass), a run whose commit phase is
+// forced onto the bank/channel-sharded path (CommitWorkers > 1) must be
+// byte-identical — cycles, per-core stats, per-bank L2 stats, per-channel
+// DRAM stats, memory contents — to the sequential engine's global order.
+func TestParallelShardedCommitMatrix(t *testing.T) {
+	for _, banks := range []int{1, 2, 4, 8} {
+		for _, channels := range []int{1, 2, 4} {
+			name := fmt.Sprintf("banks=%d/channels=%d", banks, channels)
+			t.Run(name, func(t *testing.T) {
+				cfg := DefaultConfig(4, 4, 4)
+				cfg.Mem.L2Banks = banks
+				cfg.Mem.DRAM.Channels = channels
+				seq := runSnapshot(t, cfg, diffMemProg, activateAll(cfg, 4, 0xF), 1)
+				cfg.CommitWorkers = 4
+				for _, workers := range []int{2, 4} {
+					par := runSnapshot(t, cfg, diffMemProg, activateAll(cfg, 4, 0xF), workers)
+					diffSnapshots(t, fmt.Sprintf("%s/workers=%d", name, workers), seq, par)
+				}
+			})
+		}
+	}
+	t.Run("l2-disabled", func(t *testing.T) {
+		cfg := DefaultConfig(4, 4, 4)
+		cfg.Mem.L2Disabled = true
+		cfg.Mem.DRAM.Channels = 3 // non-power-of-two: channels span banks
+		seq := runSnapshot(t, cfg, diffMemProg, activateAll(cfg, 4, 0xF), 1)
+		cfg.CommitWorkers = 4
+		par := runSnapshot(t, cfg, diffMemProg, activateAll(cfg, 4, 0xF), 4)
+		diffSnapshots(t, "l2-disabled", seq, par)
+	})
+	// Writeback-heavy stress: a tiny L2 forces dirty evictions through both
+	// bank-victim paths (absorb-side and fill-side), GTO scheduling, many
+	// cores, and a commit-worker count that neither divides the bank count
+	// nor the channel count.
+	t.Run("writeback-stress", func(t *testing.T) {
+		cfg := DefaultConfig(8, 2, 4)
+		cfg.Sched = SchedGTO
+		cfg.Mem.L1 = mem.CacheConfig{SizeBytes: 512, LineBytes: 64, Ways: 2, HitLatency: 2}
+		cfg.Mem.L2 = mem.CacheConfig{SizeBytes: 4 << 10, LineBytes: 64, Ways: 2, HitLatency: 12}
+		cfg.Mem.L2Banks = 8
+		cfg.Mem.DRAM.Channels = 5
+		seq := runSnapshot(t, cfg, diffMemProg, activateAll(cfg, 2, 0xF), 1)
+		cfg.CommitWorkers = 3
+		for _, workers := range []int{3, 8} {
+			par := runSnapshot(t, cfg, diffMemProg, activateAll(cfg, 2, 0xF), workers)
+			diffSnapshots(t, fmt.Sprintf("writeback-stress/workers=%d", workers), seq, par)
+		}
+	})
+}
+
 // TestParallelNoCoalesce pins the ablation path (duplicate line requests)
 // under the parallel engine.
 func TestParallelNoCoalesce(t *testing.T) {
@@ -227,12 +304,7 @@ func TestParallelNoCoalesce(t *testing.T) {
 		if err := s.RunParallel(workers); err != nil {
 			t.Fatal(err)
 		}
-		snap := snapshot{cycles: s.Cycle(), l2: hier.L2Stats(), dram: hier.DRAM}
-		for c := 0; c < cfg.Cores; c++ {
-			snap.cores = append(snap.cores, s.CoreStatsOf(c))
-			snap.l1 = append(snap.l1, hier.L1Stats(c))
-		}
-		return snap
+		return takeSnapshot(s, hier, cfg.Cores)
 	}
 	seq := run(1)
 	par := run(4)

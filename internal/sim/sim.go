@@ -97,6 +97,11 @@ type memDefer struct {
 	nMiss       int
 	partialDone uint64 // max completion over the L1 hits
 	miss        [64]mem.MissInfo
+	// missDone[i] is miss[i]'s completion cycle, written during the commit
+	// phase by the bank worker (L2 hit) or channel worker (DRAM fetch) that
+	// owns the miss — exactly one writer per slot — and folded into the
+	// load's scoreboard entry by the coordinator's patch step.
+	missDone [64]uint64
 }
 
 type simCore struct {
@@ -138,6 +143,14 @@ type Sim struct {
 	fullMask uint64
 	maxFU    uint64 // cached Lat.max(): the longest FU latency, for stall attribution
 	par      bool   // a parallel run is in flight: defer shared-memory timing
+
+	// Sharded-commit scratch (parallel engine), reused across cycles: the
+	// cores with deferred memory work this cycle, the per-bank DRAM op
+	// queues filled by bank workers, and the per-channel queues each
+	// channel worker gathers and drains in global order.
+	commitList []int
+	bankOps    [][]dramOp
+	chanOps    [][]dramOp
 }
 
 // New builds a device simulator over the given memory system.
