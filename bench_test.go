@@ -431,3 +431,44 @@ func BenchmarkAblationLineSize(b *testing.B) {
 		b.ReportMetric(v, name)
 	}
 }
+
+// benchCampaign runs the small campaign shared by the cached/cold sweep
+// benchmarks: 6 configurations x 2 kernels x 3 mappers.
+func benchCampaign(b *testing.B) {
+	b.Helper()
+	_, err := sweep.Run(sweep.Options{
+		Configs: sweep.Subsample(sweep.Grid(), 6),
+		Kernels: []string{"vecadd", "sgemm"},
+		Scale:   0.25,
+		Seed:    42,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSweepCold measures the campaign with the process-wide caches
+// dropped per iteration: each run pays program assembly and input
+// generation like the pre-campaign-engine sweep did. (The device pool is
+// internal to sweep.Run and active in both variants, so the Cold/Cached
+// gap isolates the program-cache + input-memo win.)
+func BenchmarkSweepCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ocl.ResetProgramCache()
+		kernels.ResetInputCache()
+		benchCampaign(b)
+	}
+}
+
+// BenchmarkSweepCached measures the same campaign with the program cache
+// and input memo warm — the steady state of a long campaign (or a resumed
+// one). The Cold/Cached gap is the campaign engine's per-run setup win.
+func BenchmarkSweepCached(b *testing.B) {
+	ocl.ResetProgramCache()
+	kernels.ResetInputCache()
+	benchCampaign(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchCampaign(b)
+	}
+}

@@ -30,11 +30,18 @@ func main() {
 	compare := flag.Bool("compare", false, "run all three mappings and print the ratio table")
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
+	cacheStats := flag.Bool("cache-stats", false, "print the campaign-engine cache counters (program cache, input memo) after the run")
 	flag.Parse()
 
 	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, *workers, *commitWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
+	}
+	if *cacheStats {
+		prog := ocl.ProgramCacheStats()
+		inp := kernels.InputCacheStats()
+		fmt.Printf("\ncampaign caches: programs %d hit / %d built; inputs %d hit / %d built\n",
+			prog.Hits, prog.Misses, inp.Hits, inp.Misses)
 	}
 }
 
@@ -130,8 +137,11 @@ func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, wo
 		{name: "lws=32", mapper: core.Fixed{N: 32}},
 		{name: "ours", mapper: core.Auto{}},
 	}
+	// One pooled device serves all three mappings: Reset between runs is
+	// byte-identical to building a fresh device and skips the reallocation.
+	pool := ocl.NewDevicePool(1)
 	for i := range rows {
-		d, err := ocl.NewDevice(deviceConfig(hw, workers, commitWorkers))
+		d, err := pool.Get(deviceConfig(hw, workers, commitWorkers))
 		if err != nil {
 			return err
 		}
@@ -144,8 +154,12 @@ func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, wo
 		if err != nil {
 			return err
 		}
+		if len(res.Launches) == 0 {
+			return fmt.Errorf("kernel %s completed without launches", spec.Name)
+		}
 		rows[i].cycles = res.Cycles
 		rows[i].lws = res.Launches[0].LWS
+		pool.Put(d)
 	}
 	ours := rows[2].cycles
 	fmt.Printf("%-8s %-6s %-12s %s\n", "mapping", "lws", "cycles", "ratio vs ours")

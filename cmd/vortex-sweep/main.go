@@ -11,6 +11,13 @@
 //
 //	vortex-sweep [-scale 1.0] [-configs 450] [-kernels all] [-seed 42]
 //	             [-violins] [-verify] [-csv out.csv] [-progress]
+//	             [-checkpoint campaign.jsonl] [-resume]
+//
+// With -checkpoint, every completed record is streamed to the given JSONL
+// file as it finishes; a killed campaign restarted with -resume skips the
+// recorded runs and produces results byte-identical to an uninterrupted
+// sweep. The final report includes the campaign engine's cache counters
+// (assembled-program cache, workload input memo, device pool).
 package main
 
 import (
@@ -37,8 +44,15 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)")
 	simWorkers := flag.Int("sim-workers", 0, "core-parallel threads per simulation (0 = auto-divide CPUs, <0 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel per simulation (0 = follow -sim-workers, 1 = global commit)")
+	checkpoint := flag.String("checkpoint", "", "stream each completed record to this JSONL file (crash-safe campaign state)")
+	resume := flag.Bool("resume", false, "skip runs already recorded in -checkpoint (requires -checkpoint)")
 	replot := flag.String("replot", "", "re-render tables/violins from a previously written CSV instead of simulating")
 	flag.Parse()
+
+	if *resume && *checkpoint == "" {
+		fmt.Fprintln(os.Stderr, "vortex-sweep: -resume requires -checkpoint")
+		os.Exit(1)
+	}
 
 	if *replot != "" {
 		f, err := os.Open(*replot)
@@ -81,6 +95,8 @@ func main() {
 		Workers:       *workers,
 		SimWorkers:    *simWorkers,
 		CommitWorkers: *commitWorkers,
+		Checkpoint:    *checkpoint,
+		Resume:        *resume,
 	}
 	if *progress {
 		start := time.Now()
@@ -100,8 +116,12 @@ func main() {
 	res, err := sweep.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+		if *checkpoint != "" {
+			fmt.Fprintf(os.Stderr, "vortex-sweep: completed runs are preserved in %s; restart with -resume to continue\n", *checkpoint)
+		}
 		os.Exit(1)
 	}
+	fmt.Printf("campaign caches: %s\n\n", res.Cache)
 
 	if *violins {
 		if err := res.RenderFigure2(os.Stdout, stats.ViolinOptions{Rows: 17, HalfWidth: 16}); err != nil {

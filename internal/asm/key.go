@@ -1,0 +1,29 @@
+package asm
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// SourceKey returns a stable content key for an Assemble invocation: a hash
+// of the source text, link base and define set. Two invocations with equal
+// keys produce structurally identical Programs, so the key is safe to use
+// for content-addressed program caching (Programs are immutable after
+// Assemble; see the ocl program cache). Defines are folded in sorted order
+// so map iteration order cannot perturb the key.
+func SourceKey(src string, base uint32, defs map[string]int64) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "base=%d\x00", base)
+	h.Write([]byte(src))
+	h.Write([]byte{0})
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "%s=%d\x00", name, defs[name])
+	}
+	return h.Sum64()
+}

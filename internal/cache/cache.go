@@ -1,0 +1,97 @@
+// Package cache provides the bounded, concurrency-safe LRU that backs the
+// campaign engine's cross-run caches (the ocl program cache and the
+// kernels input memo): keyed entries built at most once, LRU eviction
+// beyond a capacity, and hit/miss counters.
+package cache
+
+import (
+	"container/list"
+	"sync"
+)
+
+type entry[K comparable, V any] struct {
+	key  K
+	once sync.Once
+	val  V
+	err  error
+}
+
+// LRU is a bounded memoizing cache. The entry slot is claimed under the
+// lock but built outside it via sync.Once, so concurrent callers of one
+// key build it once without serializing distinct builds. Values are shared
+// across callers and must be treated as read-only.
+type LRU[K comparable, V any] struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[K]*list.Element
+	lru     list.List // of *entry; front = most recently used
+	hits    uint64
+	misses  uint64
+}
+
+// NewLRU builds a cache bounded to cap entries (cap <= 0 panics: an
+// unbounded memo is a leak).
+func NewLRU[K comparable, V any](cap int) *LRU[K, V] {
+	if cap <= 0 {
+		panic("cache: non-positive capacity")
+	}
+	return &LRU[K, V]{cap: cap, entries: map[K]*list.Element{}}
+}
+
+// GetOrBuild returns the cached value for key, building (and caching) it
+// on first use. A failed build is not cached: every waiter observes the
+// error and the next GetOrBuild retries.
+func (c *LRU[K, V]) GetOrBuild(key K, build func() (V, error)) (V, error) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.lru.MoveToFront(el)
+	} else {
+		c.misses++
+		el = c.lru.PushFront(&entry[K, V]{key: key})
+		c.entries[key] = el
+		for len(c.entries) > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(*entry[K, V]).key)
+		}
+	}
+	e := el.Value.(*entry[K, V])
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = build() })
+	if e.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.entries[key]; ok && cur == el {
+			c.lru.Remove(el)
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+		var zero V
+		return zero, e.err
+	}
+	return e.val, nil
+}
+
+// Stats returns the hit/miss counters.
+func (c *LRU[K, V]) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len returns the resident entry count.
+func (c *LRU[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Reset drops every entry and zeroes the counters.
+func (c *LRU[K, V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = map[K]*list.Element{}
+	c.lru.Init()
+	c.hits, c.misses = 0, 0
+}

@@ -1,0 +1,95 @@
+package cache
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestLRUBoundAndEviction pins the capacity bound and that evicted entries
+// rebuild while resident ones do not.
+func TestLRUBoundAndEviction(t *testing.T) {
+	c := NewLRU[string, int](4)
+	builds := 0
+	get := func(i int) int {
+		v, err := c.GetOrBuild(fmt.Sprintf("k%d", i), func() (int, error) {
+			builds++
+			return i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for i := 0; i < 10; i++ {
+		if got := get(i); got != i {
+			t.Fatalf("key %d returned %d", i, got)
+		}
+	}
+	if c.Len() > 4 {
+		t.Errorf("cache grew to %d entries, cap 4", c.Len())
+	}
+	if builds != 10 {
+		t.Errorf("builds = %d, want 10", builds)
+	}
+	if get(9); builds != 10 {
+		t.Error("resident key rebuilt")
+	}
+	if get(0); builds != 11 {
+		t.Error("evicted key not rebuilt")
+	}
+	h, m := c.Stats()
+	if h != 1 || m != 11 {
+		t.Errorf("stats = %d hits / %d misses, want 1/11", h, m)
+	}
+	c.Reset()
+	if h, m = c.Stats(); h != 0 || m != 0 || c.Len() != 0 {
+		t.Error("reset did not clear the cache")
+	}
+}
+
+// TestLRUConcurrentSingleBuild pins the build-once contract under racing
+// callers of one key.
+func TestLRUConcurrentSingleBuild(t *testing.T) {
+	c := NewLRU[string, string](8)
+	var mu sync.Mutex
+	builds := 0
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := c.GetOrBuild("shared", func() (string, error) {
+				mu.Lock()
+				builds++
+				mu.Unlock()
+				return "value", nil
+			})
+			if err != nil || v != "value" {
+				t.Errorf("got %q, %v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("builds = %d, want 1", builds)
+	}
+}
+
+// TestLRUFailedBuildNotCached pins that errors propagate and the next call
+// retries instead of serving a poisoned entry.
+func TestLRUFailedBuildNotCached(t *testing.T) {
+	c := NewLRU[string, int](4)
+	boom := errors.New("boom")
+	if _, err := c.GetOrBuild("k", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c.Len() != 0 {
+		t.Error("failed build left a resident entry")
+	}
+	v, err := c.GetOrBuild("k", func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Errorf("retry got %d, %v", v, err)
+	}
+}

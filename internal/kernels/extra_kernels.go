@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/ocl"
-	"repro/internal/workload"
 )
 
 // Extension workloads beyond the paper's nine benchmarks. They exercise
@@ -56,7 +55,8 @@ func BuildReduceSum(d *ocl.Device, n, parts int, seed int64) (*Case, error) {
 	if parts < 1 || parts > n {
 		return nil, fmt.Errorf("kernels: reduce: parts %d out of range for n=%d", parts, n)
 	}
-	in := workload.Floats(n, seed)
+	mi := reduceInputsFor(n, parts, seed)
+	in, want := mi.in, mi.want
 	bufIn, err := d.AllocFloat32(n)
 	if err != nil {
 		return nil, err
@@ -88,7 +88,6 @@ func BuildReduceSum(d *ocl.Device, n, parts int, seed int64) (*Case, error) {
 		return nil, err
 	}
 
-	want := RefReduceSum(in, parts)
 	return &Case{
 		Name: "reduce_sum",
 		Launches: []LaunchSpec{
@@ -149,7 +148,8 @@ var TransposeSource = ocl.KernelSource{
 
 // BuildTranspose prepares an r x c float matrix transpose.
 func BuildTranspose(d *ocl.Device, r, c int, seed int64) (*Case, error) {
-	in := workload.Floats(r*c, seed)
+	mi := transposeInputsFor(r, c, seed)
+	in, want := mi.in, mi.want
 	bufIn, err := d.AllocFloat32(r * c)
 	if err != nil {
 		return nil, err
@@ -167,7 +167,6 @@ func BuildTranspose(d *ocl.Device, r, c int, seed int64) (*Case, error) {
 	if err := k.SetArgs(bufIn, bufOut); err != nil {
 		return nil, err
 	}
-	want := RefTranspose(in, r, c)
 	return &Case{
 		Name:      "transpose",
 		Launches:  []LaunchSpec{{Kernel: k, GWS: r * c}},

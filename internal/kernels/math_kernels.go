@@ -27,8 +27,8 @@ var VecaddSource = ocl.KernelSource{
 
 // BuildVecadd prepares an n-element vector addition.
 func BuildVecadd(d *ocl.Device, n int, seed int64) (*Case, error) {
-	a := workload.Floats(n, seed)
-	b := workload.Floats(n, seed+1)
+	in := vecaddInputsFor(n, seed)
+	a, b, want := in.a, in.b, in.want
 	bufA, err := d.AllocFloat32(n)
 	if err != nil {
 		return nil, err
@@ -51,7 +51,6 @@ func BuildVecadd(d *ocl.Device, n int, seed int64) (*Case, error) {
 	if err := k.SetArgs(bufA, bufB, bufC); err != nil {
 		return nil, err
 	}
-	want := RefVecadd(a, b)
 	return &Case{
 		Name:      "vecadd",
 		Launches:  []LaunchSpec{{Kernel: k, GWS: n}},
@@ -95,7 +94,8 @@ var ReluSource = ocl.KernelSource{
 
 // BuildRelu prepares an n-element ReLU.
 func BuildRelu(d *ocl.Device, n int, seed int64) (*Case, error) {
-	in := workload.Floats(n, seed)
+	mi := reluInputsFor(n, seed)
+	in, want := mi.in, mi.want
 	bufI, err := d.AllocFloat32(n)
 	if err != nil {
 		return nil, err
@@ -111,7 +111,6 @@ func BuildRelu(d *ocl.Device, n int, seed int64) (*Case, error) {
 	if err := k.SetArgs(bufI, bufO); err != nil {
 		return nil, err
 	}
-	want := RefRelu(in)
 	return &Case{
 		Name:      "relu",
 		Launches:  []LaunchSpec{{Kernel: k, GWS: n}},
@@ -159,8 +158,8 @@ var SaxpySource = ocl.KernelSource{
 // BuildSaxpy prepares an n-element saxpy with a = 2.5.
 func BuildSaxpy(d *ocl.Device, n int, seed int64) (*Case, error) {
 	const alpha = float32(2.5)
-	x := workload.Floats(n, seed)
-	y := workload.Floats(n, seed+1)
+	in := saxpyInputsFor(alpha, n, seed)
+	x, y, want := in.x, in.y, in.want
 	bufX, err := d.AllocFloat32(n)
 	if err != nil {
 		return nil, err
@@ -179,7 +178,6 @@ func BuildSaxpy(d *ocl.Device, n int, seed int64) (*Case, error) {
 	if err := k.SetArgs(bufX, bufY, alpha); err != nil {
 		return nil, err
 	}
-	want := RefSaxpy(alpha, x, y)
 	return &Case{
 		Name:      "saxpy",
 		Launches:  []LaunchSpec{{Kernel: k, GWS: n}},
@@ -242,8 +240,8 @@ __sg_loop:
 // BuildSgemm prepares C[m x n] = A[m x k] x B[k x n] (the paper's
 // x:256 y:16 z:144 corresponds to m=256, n=16, k=144).
 func BuildSgemm(d *ocl.Device, m, n, k int, seed int64) (*Case, error) {
-	a := workload.Floats(m*k, seed)
-	b := workload.Floats(k*n, seed+1)
+	in := sgemmInputsFor(m, n, k, seed)
+	a, b, want := in.a, in.b, in.want
 	bufA, err := d.AllocFloat32(m * k)
 	if err != nil {
 		return nil, err
@@ -268,7 +266,6 @@ func BuildSgemm(d *ocl.Device, m, n, k int, seed int64) (*Case, error) {
 	if err := kn.SetArgs(bufA, bufB, bufC); err != nil {
 		return nil, err
 	}
-	want := RefSgemm(a, b, m, n, k)
 	return &Case{
 		Name:      "sgemm",
 		Launches:  []LaunchSpec{{Kernel: kn, GWS: m * n}},
@@ -327,8 +324,9 @@ var KNNSource = ocl.KernelSource{
 
 // BuildKNN prepares an n-point nearest-neighbor distance computation.
 func BuildKNN(d *ocl.Device, n int, seed int64) (*Case, error) {
-	pts := workload.NewPoints(n, seed)
 	const qlat, qlng = float32(30.5), float32(-120.25)
+	in := knnInputsFor(n, qlat, qlng, seed)
+	pts, want := in.pts, in.want
 	bufLat, err := d.AllocFloat32(n)
 	if err != nil {
 		return nil, err
@@ -351,7 +349,6 @@ func BuildKNN(d *ocl.Device, n int, seed int64) (*Case, error) {
 	if err := k.SetArgs(bufLat, bufLng, bufDist, qlat, qlng); err != nil {
 		return nil, err
 	}
-	want := RefKNN(pts, qlat, qlng)
 	return &Case{
 		Name:      "knn",
 		Launches:  []LaunchSpec{{Kernel: k, GWS: n}},
@@ -428,8 +425,8 @@ __gf_row:
 
 // BuildGauss prepares a w x h Gaussian blur.
 func BuildGauss(d *ocl.Device, w, h int, seed int64) (*Case, error) {
-	im := workload.NewPaddedImage(w, h, 2, seed)
-	weights := workload.Gaussian5x5()
+	in := gaussInputsFor(w, h, seed)
+	im, weights, want := in.im, in.weights, in.want
 	bufIn, err := d.AllocFloat32(len(im.Data))
 	if err != nil {
 		return nil, err
@@ -454,7 +451,6 @@ func BuildGauss(d *ocl.Device, w, h int, seed int64) (*Case, error) {
 	if err := k.SetArgs(bufIn, bufOut, bufW); err != nil {
 		return nil, err
 	}
-	want := RefGauss(im, weights)
 	return &Case{
 		Name:      "gauss",
 		Launches:  []LaunchSpec{{Kernel: k, GWS: w * h}},

@@ -98,7 +98,8 @@ func maxInt(a, b int) int {
 
 // BuildGCNAggr prepares mean aggregation over graph g with hs features.
 func BuildGCNAggr(d *ocl.Device, g *workload.Graph, hs int, seed int64) (*Case, error) {
-	x := workload.Floats(g.N*hs, seed)
+	in := gcnAggrInputsFor(g, hs, seed)
+	x, want := in.x, in.want
 	rowptr, col, xin, xout, err := gcnBuffers(d, g, x, hs)
 	if err != nil {
 		return nil, err
@@ -109,7 +110,6 @@ func BuildGCNAggr(d *ocl.Device, g *workload.Graph, hs int, seed int64) (*Case, 
 	if err := k.SetArgs(rowptr, col, xin, xout); err != nil {
 		return nil, err
 	}
-	want := RefGCNAggr(g, x, hs)
 	gws := g.N * hs
 	return &Case{
 		Name:      "gcn_aggr",
@@ -153,8 +153,8 @@ func RefGCNAggr(g *workload.Graph, x []float32, hs int) []float32 {
 // two launches whose lws are tuned independently, like the paper's
 // combined-kernel experiments.
 func BuildGCNLayer(d *ocl.Device, g *workload.Graph, hs int, seed int64) (*Case, error) {
-	x := workload.Floats(g.N*hs, seed)
-	w := workload.Floats(hs*hs, seed+1)
+	in := gcnLayerInputsFor(g, hs, seed)
+	x, w, want := in.x, in.w, in.want
 
 	rowptr, col, xin, xout, err := gcnBuffers(d, g, x, hs)
 	if err != nil {
@@ -189,8 +189,6 @@ func BuildGCNLayer(d *ocl.Device, g *workload.Graph, hs int, seed int64) (*Case,
 		return nil, err
 	}
 
-	tRef := RefSgemm(x, w, g.N, hs, hs)
-	want := RefGCNAggr(g, tRef, hs)
 	gws := g.N * hs
 	return &Case{
 		Name: "gcn_layer",
@@ -286,9 +284,8 @@ __cv_ic:
 // BuildConv3x3 prepares one ResNet20-style conv3x3(ch->ch)+bias+ReLU layer
 // over a w x w image (CIFAR-10 layer: ch=16, w=32).
 func BuildConv3x3(d *ocl.Device, ch, w int, seed int64) (*Case, error) {
-	in := workload.NewPaddedTensor(ch, w, w, 1, seed)
-	weights := workload.Floats(ch*ch*9, seed+1)
-	bias := workload.Floats(ch, seed+2)
+	mi := convInputsFor(ch, w, seed)
+	in, weights, bias, want := mi.in, mi.weights, mi.bias, mi.want
 
 	bufIn, err := d.AllocFloat32(len(in.Data))
 	if err != nil {
@@ -325,7 +322,6 @@ func BuildConv3x3(d *ocl.Device, ch, w int, seed int64) (*Case, error) {
 	if err := k.SetArgs(bufIn, bufW, bufB, bufOut); err != nil {
 		return nil, err
 	}
-	want := RefConv3x3(in, weights, bias, ch)
 	gws := ch * w * w
 	return &Case{
 		Name:      "resnet20_layer",

@@ -101,14 +101,14 @@ func Registry() []Spec {
 		{
 			Name: "gcn_aggr", Group: GroupML, PaperSize: "cora hs:16",
 			Build: func(d *ocl.Device, p Params) (*Case, error) {
-				g := workload.NewGraph(scaled(workload.CoraNodes, p.Scale, 32), workload.CoraAvgDeg, p.Seed)
+				g := graphFor(scaled(workload.CoraNodes, p.Scale, 32), workload.CoraAvgDeg, p.Seed)
 				return BuildGCNAggr(d, g, workload.CoraHidden, p.Seed+100)
 			},
 		},
 		{
 			Name: "gcn_layer", Group: GroupML, PaperSize: "cora hs:16",
 			Build: func(d *ocl.Device, p Params) (*Case, error) {
-				g := workload.NewGraph(scaled(workload.CoraNodes, p.Scale, 32), workload.CoraAvgDeg, p.Seed)
+				g := graphFor(scaled(workload.CoraNodes, p.Scale, 32), workload.CoraAvgDeg, p.Seed)
 				return BuildGCNLayer(d, g, workload.CoraHidden, p.Seed+100)
 			},
 		},

@@ -158,3 +158,12 @@ func (c *Cache) Flush() {
 		c.lines[i] = cacheLine{}
 	}
 }
+
+// Reset restores the cache to its freshly constructed state: lines
+// invalidated, the LRU stamp rewound and statistics zeroed, so a pooled
+// device replays LRU decisions byte-identically to a new one.
+func (c *Cache) Reset() {
+	c.Flush()
+	c.stamp = 0
+	c.Stats = CacheStats{}
+}

@@ -396,6 +396,24 @@ func (h *Hierarchy) Flush() {
 	}
 }
 
+// Reset restores the whole memory system to its freshly constructed state:
+// every cache level is invalidated with statistics and LRU stamps zeroed,
+// and every DRAM channel's bandwidth clock and counters rewound. A pooled
+// device that is Reset between runs produces timing byte-identical to a
+// newly built hierarchy.
+func (h *Hierarchy) Reset() {
+	for _, c := range h.l1 {
+		c.Reset()
+	}
+	for _, b := range h.banks {
+		b.Reset()
+	}
+	for i := range h.dram {
+		h.dram[i].free = 0
+		h.dram[i].stats = DRAMStats{}
+	}
+}
+
 // Coalesce merges the active lanes' byte addresses into unique line
 // requests, preserving first-touch order. mask selects active lanes; out is
 // an optional reusable buffer.

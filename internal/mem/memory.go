@@ -17,10 +17,19 @@ import (
 // Size()-1; all accesses are bounds-checked.
 type Memory struct {
 	data []byte
+	init uint32 // size at construction, restored by Reset
 }
 
 // NewMemory allocates a device memory of size bytes.
-func NewMemory(size uint32) *Memory { return &Memory{data: make([]byte, size)} }
+func NewMemory(size uint32) *Memory { return &Memory{data: make([]byte, size), init: size} }
+
+// Reset zeroes the memory and restores its construction-time size, keeping
+// the grown backing array so a pooled device reuses the allocation. After
+// Reset the memory is indistinguishable from a freshly constructed one.
+func (m *Memory) Reset() {
+	clear(m.data)
+	m.data = m.data[:m.init]
+}
 
 // Size returns the memory size in bytes.
 func (m *Memory) Size() uint32 { return uint32(len(m.data)) }

@@ -192,3 +192,23 @@ func (d *Device) ReadUint32(b Buffer, n int) ([]uint32, error) {
 
 // FlushCaches invalidates the cache hierarchy (cold-cache experiments).
 func (d *Device) FlushCaches() { d.hier.Flush() }
+
+// Reset restores the device to its NewDevice state while keeping the large
+// allocations (memory image, cache arrays, register files), so a pooled
+// device can be reused across runs instead of rebuilding the full memory
+// image per run. After Reset the device is byte-identical in behaviour to a
+// freshly constructed one: memory zeroed and shrunk to the heap base, cache
+// and DRAM state rewound, simulator cycle/statistics/scheduler state
+// cleared, the mapper back to core.Auto, the dispatch overhead back to the
+// default, and any observer removed.
+func (d *Device) Reset() {
+	d.memory.Reset()
+	d.hier.Reset()
+	d.sim.Reset()
+	d.sim.SetObserver(nil)
+	d.mapper = core.Auto{}
+	d.DispatchOverhead = DefaultDispatchOverhead
+	d.allocTop = HeapBase
+	d.currentProg = nil
+	d.observer = nil
+}

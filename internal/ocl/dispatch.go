@@ -120,7 +120,10 @@ __wexit:
 	ecall
 `
 
-// buildProgram assembles wrapper+body for one launch.
+// buildProgram returns the assembled wrapper+body for one launch shape,
+// consulting the process-wide content-keyed program cache: the assembler
+// runs once per distinct (kernel, geometry) shape instead of once per
+// launch. Cached Programs are immutable and shared across devices.
 func buildProgram(k *Kernel, gws, lws, ntasks, tpc int, cfg sim.Config) (*asm.Program, error) {
 	defs := map[string]int64{
 		"NTASKS":  int64(ntasks),
@@ -137,12 +140,15 @@ func buildProgram(k *Kernel, gws, lws, ntasks, tpc int, cfg sim.Config) (*asm.Pr
 		}
 		defs[name] = v
 	}
-	src := wrapperHead + k.src.Body + wrapperTail
-	prog, err := asm.Assemble(src, CodeBase, defs)
-	if err != nil {
-		return nil, fmt.Errorf("ocl: kernel %q: %w", k.src.Name, err)
-	}
-	return prog, nil
+	key := progKey{name: k.src.Name, body: asm.SourceKey(k.src.Body, CodeBase, nil), defs: defsKey(defs)}
+	return programCache.GetOrBuild(key, func() (*asm.Program, error) {
+		src := wrapperHead + k.src.Body + wrapperTail
+		prog, err := asm.Assemble(src, CodeBase, defs)
+		if err != nil {
+			return nil, fmt.Errorf("ocl: kernel %q: %w", k.src.Name, err)
+		}
+		return prog, nil
+	})
 }
 
 // currentProgram is set during a launch so trace collectors can tag PCs.

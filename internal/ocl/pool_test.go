@@ -1,0 +1,164 @@
+package ocl
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// launchOnce runs vecadd(gws) with lws on an existing device and returns
+// the launch report plus the output vector.
+func launchOnce(t *testing.T, d *Device, gws, lws int) (*LaunchResult, []float32) {
+	t.Helper()
+	a := make([]float32, gws)
+	b := make([]float32, gws)
+	for i := range a {
+		a[i] = float32(i)
+		b[i] = float32(3 * i)
+	}
+	bufA, err := d.AllocFloat32(gws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bufB, _ := d.AllocFloat32(gws)
+	bufC, _ := d.AllocFloat32(gws)
+	if err := d.WriteFloat32(bufA, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteFloat32(bufB, b); err != nil {
+		t.Fatal(err)
+	}
+	k, err := NewKernel(vecaddSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetArgs(bufA, bufB, bufC); err != nil {
+		t.Fatal(err)
+	}
+	res, err := d.EnqueueNDRange(k, gws, lws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := d.ReadFloat32(bufC, gws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out
+}
+
+// TestDeviceResetByteIdentical is the device-pool identity contract: after
+// any prior workload, Reset must make the next run indistinguishable —
+// launch report, cycle counts, cache statistics and output included — from
+// the same run on a freshly constructed device.
+func TestDeviceResetByteIdentical(t *testing.T) {
+	cfg := sim.DefaultConfig(2, 4, 4)
+
+	fresh, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRes, wantOut := launchOnce(t, fresh, 512, 0)
+
+	reused, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dirty the device thoroughly: different geometry, different mapper,
+	// custom dispatch overhead, and an observer.
+	reused.SetMapper(core.Fixed{N: 32})
+	reused.DispatchOverhead = 9999
+	reused.SetObserver(func(sim.IssueEvent) {})
+	launchOnce(t, reused, 300, 7)
+
+	reused.Reset()
+	gotRes, gotOut := launchOnce(t, reused, 512, 0)
+
+	if !reflect.DeepEqual(wantRes, gotRes) {
+		t.Errorf("launch reports differ:\nfresh  %+v\npooled %+v", wantRes, gotRes)
+	}
+	if !reflect.DeepEqual(wantOut, gotOut) {
+		t.Error("device outputs differ after Reset")
+	}
+	if c := reused.Sim().Cycle(); c == 0 {
+		t.Error("sanity: cycle counter did not advance")
+	}
+	if got, want := reused.Sim().Hierarchy().DRAM(), fresh.Sim().Hierarchy().DRAM(); got != want {
+		t.Errorf("DRAM stats differ: %+v vs %+v", got, want)
+	}
+	if got, want := reused.Sim().Hierarchy().L2Stats(), fresh.Sim().Hierarchy().L2Stats(); got != want {
+		t.Errorf("L2 stats differ: %+v vs %+v", got, want)
+	}
+}
+
+// TestDevicePoolReuse pins the pool mechanics: a Put device with a matching
+// config is handed back reset, configs are not mixed, and the counters
+// track reuse.
+func TestDevicePoolReuse(t *testing.T) {
+	pool := NewDevicePool(2)
+	cfgA := sim.DefaultConfig(1, 2, 2)
+	cfgB := sim.DefaultConfig(2, 2, 2)
+
+	d1, err := pool.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launchOnce(t, d1, 64, 0)
+	pool.Put(d1)
+
+	d2, err := pool.Get(cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Error("pool did not reuse the idle device")
+	}
+	if d2.Sim().Cycle() != 0 {
+		t.Error("pooled device not reset on Get")
+	}
+
+	d3, err := pool.Get(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 == d2 {
+		t.Error("pool mixed configurations")
+	}
+	if d3.Config() != cfgB {
+		t.Errorf("wrong config: %s", d3.Config().Name())
+	}
+
+	st := pool.Stats()
+	if st.Hits != 1 || st.Misses != 2 {
+		t.Errorf("pool stats = %+v, want 1 hit / 2 misses", st)
+	}
+
+	// The global idle bound drops surplus devices instead of growing
+	// forever — including devices of configurations the caller has moved
+	// past (a sweep walks its grid configuration-major).
+	var held []*Device
+	for i := 0; i < 5; i++ {
+		d, err := pool.Get(cfgA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		held = append(held, d)
+	}
+	for _, d := range held {
+		pool.Put(d)
+	}
+	pool.Put(d3) // a second config competes for the same global bound
+	if n := pool.IdleLen(); n > 2 {
+		t.Errorf("global idle bound not enforced: %d devices retained", n)
+	}
+	// Most-recently-Put wins: the cfgB device is resident, older cfgA
+	// surplus was evicted.
+	d4, err := pool.Get(cfgB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 != d3 {
+		t.Error("most recently Put device was not retained")
+	}
+}

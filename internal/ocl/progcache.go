@@ -1,0 +1,60 @@
+package ocl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cache"
+)
+
+// CacheCounters reports hit/miss totals of one runtime cache.
+type CacheCounters struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// progKey identifies one distinct launch shape: the kernel's identity (name
+// plus a content hash of its body) and the full define set, which carries
+// both the kernel's compile-time constants and the wrapper geometry
+// (NTASKS, TPC, TPW, WT, GWS, LWS, ARGBASE). Everything else that feeds
+// Assemble — the wrapper text and the link base — is compile-time constant.
+type progKey struct {
+	name string
+	body uint64
+	defs string
+}
+
+func defsKey(defs map[string]int64) string {
+	names := make([]string, 0, len(defs))
+	for name := range defs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		fmt.Fprintf(&b, "%s=%d;", name, defs[name])
+	}
+	return b.String()
+}
+
+// defaultProgramCacheCap holds the full Figure-2 campaign comfortably: the
+// distinct (kernel, geometry) launch shapes of 450 configs x 9 kernels x 3
+// mappers dedupe far below this, and one cached program is a few KiB.
+const defaultProgramCacheCap = 4096
+
+// programCache shares assembled programs across every device in the
+// process: the assembled Program is immutable, so distinct devices (and
+// concurrent sweep workers) can load the same instance.
+var programCache = cache.NewLRU[progKey, *asm.Program](defaultProgramCacheCap)
+
+// ProgramCacheStats returns process-wide program-cache hit/miss counters.
+func ProgramCacheStats() CacheCounters {
+	h, m := programCache.Stats()
+	return CacheCounters{Hits: h, Misses: m}
+}
+
+// ResetProgramCache drops every cached program and zeroes the counters
+// (cold-path benchmarks and tests).
+func ResetProgramCache() { programCache.Reset() }

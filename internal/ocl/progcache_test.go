@@ -1,0 +1,104 @@
+package ocl
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestProgramCacheHitsAndIdentity pins the content-keyed program cache:
+// repeated launches of the same shape hit the cache and produce results
+// identical to the uncached path, while different shapes miss.
+func TestProgramCacheHitsAndIdentity(t *testing.T) {
+	cfg := sim.DefaultConfig(1, 2, 4)
+
+	ResetProgramCache()
+	d1, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes, coldOut := launchOnce(t, d1, 256, 0)
+	afterCold := ProgramCacheStats()
+	if afterCold.Misses == 0 {
+		t.Fatal("first launch did not populate the program cache")
+	}
+
+	// Same shape on a different device: must hit and match exactly.
+	d2, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRes, warmOut := launchOnce(t, d2, 256, 0)
+	afterWarm := ProgramCacheStats()
+	if afterWarm.Hits != afterCold.Hits+1 {
+		t.Errorf("expected one cache hit, counters %+v -> %+v", afterCold, afterWarm)
+	}
+	if afterWarm.Misses != afterCold.Misses {
+		t.Errorf("warm launch rebuilt the program: %+v -> %+v", afterCold, afterWarm)
+	}
+	if !reflect.DeepEqual(coldRes, warmRes) {
+		t.Errorf("cached program changed the launch report:\ncold %+v\nwarm %+v", coldRes, warmRes)
+	}
+	if !reflect.DeepEqual(coldOut, warmOut) {
+		t.Error("cached program changed the device output")
+	}
+
+	// A different geometry is a different shape: must miss.
+	d3, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	launchOnce(t, d3, 256, 8)
+	afterOther := ProgramCacheStats()
+	if afterOther.Misses != afterWarm.Misses+1 {
+		t.Errorf("distinct lws shape did not miss: %+v -> %+v", afterWarm, afterOther)
+	}
+}
+
+// TestProgramCacheKeyedByBodyAndDefs pins that kernels sharing a name but
+// differing in body or defines cannot alias.
+func TestProgramCacheKeyedByBodyAndDefs(t *testing.T) {
+	ResetProgramCache()
+	cfg := sim.DefaultConfig(1, 2, 2)
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, err := d.AllocFloat32(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := func(name, body string, defs map[string]int64) []float32 {
+		k, err := NewKernel(KernelSource{Name: name, Body: body, Defs: defs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := k.SetArgs(buf); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.EnqueueNDRange(k, 64, 0); err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.ReadFloat32(buf, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	body := `
+	lw   t3, 0(a1)
+	slli t4, a0, 2
+	add  t3, t3, t4
+	li   t5, KVAL
+	fcvt.s.w f0, t5
+	fsw  f0, 0(t3)
+`
+	one := store("kv", body, map[string]int64{"KVAL": 1})
+	two := store("kv", body, map[string]int64{"KVAL": 2})
+	if one[0] != 1 || two[0] != 2 {
+		t.Fatalf("defs aliased in the cache: got %v then %v", one[0], two[0])
+	}
+}

@@ -245,10 +245,16 @@ func metaOf(in isa.Inst) instMeta {
 
 // LoadProgram installs the instruction stream at base and pre-computes
 // scheduling metadata. Instruction fetch is modeled as ideal (the paper's
-// bottlenecks are issue- and data-side).
+// bottlenecks are issue- and data-side). Re-loading the program already
+// resident (same backing array, the common case under the ocl program
+// cache) skips the metadata rebuild.
 func (s *Sim) LoadProgram(base uint32, insts []isa.Inst) error {
 	if base%4 != 0 {
 		return fmt.Errorf("sim: program base %#x misaligned", base)
+	}
+	if base == s.progBase && len(insts) == len(s.prog) &&
+		len(insts) > 0 && &insts[0] == &s.prog[0] {
+		return nil
 	}
 	s.progBase = base
 	s.prog = insts
@@ -257,6 +263,39 @@ func (s *Sim) LoadProgram(base uint32, insts []isa.Inst) error {
 		s.meta[i] = metaOf(in)
 	}
 	return nil
+}
+
+// Reset rewinds the simulator to its freshly constructed state — cycle
+// counter, per-core scheduler and LSU state, statistics, barriers and warp
+// flags — while keeping the register-file and scratch allocations, so a
+// pooled device can be reused across runs with byte-identical behaviour to
+// a new Sim. The loaded program is dropped (the next launch reloads one)
+// and any observer is kept (callers that pool devices clear it via the
+// device).
+func (s *Sim) Reset() {
+	s.cycle = 0
+	s.progBase, s.prog, s.meta = 0, nil, nil
+	s.par = false
+	s.NoCoalesce = false
+	for i := range s.cores {
+		c := &s.cores[i]
+		c.rr = 0
+		c.cur = 0
+		c.lsuFree = 0
+		c.nextWake = 0
+		c.active = 0
+		c.barriers = [maxBarriers]barrier{}
+		c.blockMem = false
+		c.stats = CoreStats{}
+		c.md = memDefer{}
+		for j := range c.warps {
+			w := &c.warps[j]
+			w.active = false
+			w.barWait = false
+			w.wakeValid = false
+			w.last = 0
+		}
+	}
 }
 
 // ActivateWarp starts warp (core, wid) at pc with the given thread mask,

@@ -1,0 +1,173 @@
+package sweep
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Checkpoint format: a JSONL file. The first line is a meta header binding
+// the checkpoint to the sweep options that produced it; every following
+// line is one JSON-encoded Record, appended (and flushed) as its simulation
+// completes, in completion order. encoding/json round-trips every Record
+// field exactly (shortest-round-trip floats, full-precision integers), so a
+// resumed campaign that splices checkpointed records into the task grid is
+// byte-identical to an uninterrupted run. Failed records (Record.Err != "")
+// are never checkpointed: a resume retries them.
+
+// checkpointVersion guards the line format.
+const checkpointVersion = 1
+
+// checkpointMeta pins the sweep parameters that determine per-record
+// simulation results. A resume against a checkpoint whose meta differs
+// would silently splice records from a different experiment, so Run
+// refuses it.
+type checkpointMeta struct {
+	Version          int     `json:"checkpoint_version"`
+	Scale            float64 `json:"scale"`
+	Seed             int64   `json:"seed"`
+	Verify           bool    `json:"verify"`
+	DispatchOverhead int64   `json:"dispatch_overhead"`
+	NoCoalesce       bool    `json:"no_coalesce"`
+	ConfigTag        string  `json:"config_tag,omitempty"`
+}
+
+func metaFor(opts Options) checkpointMeta {
+	return checkpointMeta{
+		Version:          checkpointVersion,
+		Scale:            opts.Scale,
+		Seed:             opts.Seed,
+		Verify:           opts.Verify,
+		DispatchOverhead: opts.DispatchOverhead,
+		NoCoalesce:       opts.NoCoalesce,
+		ConfigTag:        opts.ConfigTag,
+	}
+}
+
+// Key identifies the record's task: one (config, kernel, mapper) cell of
+// the campaign grid. Resume skips tasks whose key is already checkpointed.
+func (r Record) Key() string {
+	return r.Config.Name() + "/" + r.Kernel + "/" + r.Mapper
+}
+
+// ReadCheckpoint parses a JSONL checkpoint stream into its meta header (nil
+// if the stream is empty or headerless) and the recorded tasks by Key.
+// Later duplicates of a key win, so a checkpoint appended to by several
+// partial runs stays usable.
+func ReadCheckpoint(rd io.Reader) (*checkpointMeta, map[string]Record, error) {
+	out := map[string]Record{}
+	var meta *checkpointMeta
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	first := true
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		if first {
+			first = false
+			var m checkpointMeta
+			if err := json.Unmarshal(line, &m); err == nil && m.Version > 0 {
+				if m.Version != checkpointVersion {
+					return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported", m.Version)
+				}
+				meta = &m
+				continue
+			}
+		}
+		var rec Record
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return nil, nil, fmt.Errorf("sweep: corrupt checkpoint line: %w", err)
+		}
+		if rec.Kernel == "" || rec.Mapper == "" {
+			return nil, nil, fmt.Errorf("sweep: checkpoint line missing task identity: %q", line)
+		}
+		out[rec.Key()] = rec
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	return meta, out, nil
+}
+
+// readCheckpointFile loads a checkpoint from disk; a missing file is an
+// empty checkpoint, not an error (first run of a resumable campaign).
+func readCheckpointFile(path string) (*checkpointMeta, map[string]Record, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, map[string]Record{}, nil
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return ReadCheckpoint(f)
+}
+
+// checkpointWriter appends records to the JSONL checkpoint as they
+// complete, flushing per record so a killed campaign loses at most the
+// records in flight.
+type checkpointWriter struct {
+	mu sync.Mutex
+	f  *os.File
+	w  *bufio.Writer
+}
+
+// openCheckpoint opens path for streaming. resume appends to an existing
+// file; otherwise the file is truncated. A fresh (or empty) file gets the
+// meta header for opts first.
+func openCheckpoint(path string, resume bool, opts Options) (*checkpointWriter, error) {
+	flags := os.O_WRONLY | os.O_CREATE
+	if resume {
+		flags |= os.O_APPEND
+	} else {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	c := &checkpointWriter{f: f, w: bufio.NewWriter(f)}
+	if st.Size() == 0 {
+		if err := c.appendJSON(metaFor(opts)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *checkpointWriter) appendJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.w.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return c.w.Flush()
+}
+
+// append streams one completed record.
+func (c *checkpointWriter) append(rec Record) error { return c.appendJSON(rec) }
+
+func (c *checkpointWriter) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.w.Flush(); err != nil {
+		c.f.Close()
+		return err
+	}
+	return c.f.Close()
+}

@@ -21,7 +21,7 @@ import (
 // gridCores spans 1..64 cores over 18 values so that the full grid is
 // exactly 18 x 5 x 5 = 450 configurations, matching the count and corner
 // points (1c2w2t, 64c32w32t) the paper reports. The paper does not list
-// its grid; see DESIGN.md.
+// its grid; DESIGN.md at the repository root records the choice.
 var gridCores = []int{1, 2, 3, 4, 6, 8, 10, 12, 16, 20, 24, 28, 32, 40, 48, 56, 60, 64}
 var gridWarps = []int{2, 4, 8, 16, 32}
 var gridThreads = []int{2, 4, 8, 16, 32}
@@ -94,11 +94,29 @@ type Options struct {
 	// ConfigTemplate customizes the non-geometry simulator parameters
 	// (memory hierarchy, latencies, scheduler); nil uses defaults.
 	ConfigTemplate func(hw core.HWInfo) sim.Config
+	// ConfigTag names the ConfigTemplate for checkpointing. A function
+	// cannot be fingerprinted, so a checkpointed sweep with a non-nil
+	// ConfigTemplate must carry a caller-chosen tag; the tag is recorded
+	// in the checkpoint meta and must match on Resume.
+	ConfigTag string
 	// DispatchOverhead overrides the per-launch driver cost in cycles;
 	// negative keeps the runtime default.
 	DispatchOverhead int64
 	// NoCoalesce disables the memory coalescer (ablation A2).
 	NoCoalesce bool
+	// Checkpoint, if non-empty, is a JSONL file each completed record is
+	// appended to (and flushed) as its simulation finishes, so a killed
+	// campaign preserves the work done. See checkpoint.go for the format.
+	Checkpoint string
+	// Resume preloads Checkpoint and skips every task already recorded
+	// there, splicing the checkpointed records into the result grid. The
+	// final Results.Records are byte-identical to an uninterrupted run.
+	// Failed records are not checkpointed, so a resume retries them.
+	Resume bool
+	// OnRecord, if non-nil, is called with each record as it completes
+	// (in completion order, serialized by the runner). Resumed records are
+	// not replayed through OnRecord.
+	OnRecord func(Record)
 }
 
 func (o *Options) fill() {
@@ -143,13 +161,40 @@ type Record struct {
 	Err         string // non-empty if this run failed
 }
 
+// CacheReport summarizes the campaign engine's cross-run reuse for one
+// sweep: program-cache and input-memo hit/miss deltas over the run, device
+// pool reuse, and how many records a Resume spliced in from the checkpoint.
+type CacheReport struct {
+	ProgramHits, ProgramMisses uint64
+	InputHits, InputMisses     uint64
+	DevicesReused, DevicesNew  uint64
+	Resumed                    int
+}
+
+func (c CacheReport) String() string {
+	s := fmt.Sprintf("programs %d hit / %d built; inputs %d hit / %d built; devices %d reused / %d built",
+		c.ProgramHits, c.ProgramMisses, c.InputHits, c.InputMisses, c.DevicesReused, c.DevicesNew)
+	if c.Resumed > 0 {
+		s += fmt.Sprintf("; %d records resumed from checkpoint", c.Resumed)
+	}
+	return s
+}
+
 // Results holds a completed sweep.
 type Results struct {
 	Options Options
 	Records []Record
+	// Cache reports the campaign engine's reuse counters for this run
+	// (zero value when Results was reconstructed from a CSV).
+	Cache CacheReport
 }
 
-// Run executes the sweep.
+// Run executes the sweep as a streaming campaign: tasks fan out over the
+// worker pool, each completed record is streamed to the checkpoint (when
+// configured) and OnRecord sink in completion order, and the final record
+// grid is assembled in deterministic task order. With Resume, tasks already
+// present in the checkpoint are spliced in without re-simulating; the
+// resulting Records are byte-identical to an uninterrupted run.
 func Run(opts Options) (*Results, error) {
 	opts.fill()
 	type task struct {
@@ -167,33 +212,110 @@ func Run(opts Options) (*Results, error) {
 		}
 	}
 	records := make([]Record, len(tasks))
+	skip := make([]bool, len(tasks))
+	resumed := 0
+	if opts.Checkpoint != "" && opts.ConfigTemplate != nil && opts.ConfigTag == "" {
+		// The simulator configuration determines every record; an unnamed
+		// template cannot be validated on resume, so refuse to checkpoint
+		// records that a later resume could silently mis-splice.
+		return nil, fmt.Errorf("sweep: checkpointing with a ConfigTemplate requires Options.ConfigTag")
+	}
+	if opts.Resume && opts.Checkpoint != "" {
+		meta, seen, err := readCheckpointFile(opts.Checkpoint)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: resume: %w", err)
+		}
+		if meta == nil && len(seen) > 0 {
+			// Records without the meta header cannot be validated against
+			// this sweep's options; splicing them in could silently break
+			// the byte-identity contract.
+			return nil, fmt.Errorf("sweep: resume: checkpoint %s has records but no meta header", opts.Checkpoint)
+		}
+		if meta != nil && *meta != metaFor(opts) {
+			return nil, fmt.Errorf("sweep: resume: checkpoint %s was written with different sweep options (%+v)", opts.Checkpoint, *meta)
+		}
+		for i, tk := range tasks {
+			key := tk.hw.Name() + "/" + tk.kernel + "/" + tk.mapper.Name()
+			if rec, ok := seen[key]; ok {
+				records[i] = rec
+				skip[i] = true
+				resumed++
+			}
+		}
+	}
+	var ckpt *checkpointWriter
+	if opts.Checkpoint != "" {
+		var err error
+		ckpt, err = openCheckpoint(opts.Checkpoint, opts.Resume, opts)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: checkpoint: %w", err)
+		}
+	}
+
+	pool := ocl.NewDevicePool(opts.Workers)
+	progBase := ocl.ProgramCacheStats()
+	inputBase := kernels.InputCacheStats()
 
 	var wg sync.WaitGroup
 	ch := make(chan task)
 	var mu sync.Mutex
-	done := 0
+	var sinkErr error
+	done := resumed
+	if opts.Progress != nil && resumed > 0 {
+		opts.Progress(done, len(tasks))
+	}
 	for w := 0; w < opts.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for tk := range ch {
-				records[tk.idx] = runOne(opts, tk.hw, tk.kernel, tk.mapper)
-				if opts.Progress != nil {
-					mu.Lock()
-					done++
-					opts.Progress(done, len(tasks))
-					mu.Unlock()
+				rec := runOne(opts, pool, tk.hw, tk.kernel, tk.mapper)
+				records[tk.idx] = rec
+				mu.Lock()
+				if ckpt != nil && rec.Err == "" {
+					if err := ckpt.append(rec); err != nil && sinkErr == nil {
+						sinkErr = err
+					}
 				}
+				done++
+				if opts.Progress != nil {
+					opts.Progress(done, len(tasks))
+				}
+				if opts.OnRecord != nil {
+					opts.OnRecord(rec)
+				}
+				mu.Unlock()
 			}
 		}()
 	}
-	for _, tk := range tasks {
-		ch <- tk
+	for i, tk := range tasks {
+		if !skip[i] {
+			ch <- tk
+		}
 	}
 	close(ch)
 	wg.Wait()
+	if ckpt != nil {
+		if err := ckpt.Close(); err != nil && sinkErr == nil {
+			sinkErr = err
+		}
+	}
 
-	res := &Results{Options: opts, Records: records}
+	prog := ocl.ProgramCacheStats()
+	inp := kernels.InputCacheStats()
+	dev := pool.Stats()
+	res := &Results{Options: opts, Records: records, Cache: CacheReport{
+		ProgramHits:   prog.Hits - progBase.Hits,
+		ProgramMisses: prog.Misses - progBase.Misses,
+		InputHits:     inp.Hits - inputBase.Hits,
+		InputMisses:   inp.Misses - inputBase.Misses,
+		DevicesReused: dev.Hits,
+		DevicesNew:    dev.Misses,
+		Resumed:       resumed,
+	}}
+	if sinkErr != nil {
+		return res, fmt.Errorf("sweep: checkpoint write: %w", sinkErr)
+	}
 	for _, r := range records {
 		if r.Err != "" {
 			return res, fmt.Errorf("sweep: %s/%s on %s: %s", r.Kernel, r.Mapper, r.Config.Name(), r.Err)
@@ -202,7 +324,7 @@ func Run(opts Options) (*Results, error) {
 	return res, nil
 }
 
-func runOne(opts Options, hw core.HWInfo, kname string, mapper core.Mapper) Record {
+func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, mapper core.Mapper) Record {
 	rec := Record{Config: hw, Kernel: kname, Mapper: mapper.Name()}
 	spec, err := kernels.ByName(kname)
 	if err != nil {
@@ -221,11 +343,12 @@ func runOne(opts Options, hw core.HWInfo, kname string, mapper core.Mapper) Reco
 	if opts.CommitWorkers > 0 {
 		cfg.CommitWorkers = opts.CommitWorkers
 	}
-	d, err := ocl.NewDevice(cfg)
+	d, err := pool.Get(cfg)
 	if err != nil {
 		rec.Err = err.Error()
 		return rec
 	}
+	defer pool.Put(d)
 	if opts.DispatchOverhead >= 0 {
 		d.DispatchOverhead = uint64(opts.DispatchOverhead)
 	}
@@ -246,6 +369,18 @@ func runOne(opts Options, hw core.HWInfo, kname string, mapper core.Mapper) Reco
 		rec.Err = err.Error()
 		return rec
 	}
+	fillRecord(&rec, res, hw)
+	return rec
+}
+
+// fillRecord folds a completed case result into rec. A case that produced
+// no launches is recorded as a failure instead of indexing Launches[0] (an
+// index panic here used to kill the whole worker).
+func fillRecord(rec *Record, res *kernels.Result, hw core.HWInfo) {
+	if len(res.Launches) == 0 {
+		rec.Err = "case completed without launches"
+		return
+	}
 	rec.Cycles = res.Cycles
 	rec.LWS = res.Launches[0].LWS
 	for _, l := range res.Launches {
@@ -255,5 +390,4 @@ func runOne(opts Options, hw core.HWInfo, kname string, mapper core.Mapper) Reco
 		rec.EnergyPJ += l.Energy.Total()
 	}
 	rec.Boundedness = core.Classify(rec.MemStall, rec.ExecStall, rec.Cycles*uint64(hw.Cores))
-	return rec
 }

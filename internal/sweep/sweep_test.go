@@ -76,6 +76,40 @@ func TestSubsample(t *testing.T) {
 	}
 }
 
+// TestSubsampleGridOrderPreserved pins that the subset comes back in grid
+// order (a subsequence of Grid()) — checkpoint resume and CSV diffs rely on
+// task order being deterministic — and that the same n always yields the
+// same subset while different n yield nested-from-the-same-shuffle picks.
+func TestSubsampleGridOrderPreserved(t *testing.T) {
+	g := Grid()
+	for _, n := range []int{1, 10, 45, 120, 449} {
+		s := Subsample(g, n)
+		if len(s) != n {
+			t.Fatalf("n=%d: got %d configs", n, len(s))
+		}
+		pos := -1
+		for i, hw := range s {
+			found := -1
+			for j := pos + 1; j < len(g); j++ {
+				if g[j] == hw {
+					found = j
+					break
+				}
+			}
+			if found < 0 {
+				t.Fatalf("n=%d: element %d (%s) out of grid order", n, i, hw.Name())
+			}
+			pos = found
+		}
+		s2 := Subsample(g, n)
+		for i := range s {
+			if s[i] != s2[i] {
+				t.Fatalf("n=%d: subsample not deterministic at %d", n, i)
+			}
+		}
+	}
+}
+
 // smallSweep runs a fast verified sweep used by several tests.
 func smallSweep(t *testing.T, names []string) *Results {
 	t.Helper()
