@@ -9,30 +9,44 @@
 //
 // Usage:
 //
-//	vortex-sweep [-scale 1.0] [-configs 450] [-kernels all] [-seed 42]
-//	             [-violins] [-verify] [-csv out.csv] [-progress]
-//	             [-checkpoint campaign.jsonl] [-resume]
+//	vortex-sweep [-scale 1.0] [-configs 450] [-grid 1c2w2t,...] [-kernels all]
+//	             [-seed 42] [-violins] [-verify] [-csv out.csv] [-progress]
+//	             [-checkpoint campaign.jsonl] [-resume] [-shard i/N]
+//	vortex-sweep merge [-out merged.jsonl] [-csv out.csv] [-violins]
+//	             [-crossover lws=32] shard0.jsonl shard1.jsonl ...
 //
 // With -checkpoint, every completed record is streamed to the given JSONL
 // file as it finishes; a killed campaign restarted with -resume skips the
 // recorded runs and produces results byte-identical to an uninterrupted
 // sweep. The final report includes the campaign engine's cache counters
 // (assembled-program cache, workload input memo, device pool).
+//
+// With -shard i/N, the process runs only every N-th task of the canonical
+// campaign grid starting at i, so a campaign can spread over N independent
+// hosts: run each shard with its own -checkpoint, then recombine with the
+// merge subcommand, whose report, CSV and checkpoint output are
+// byte-identical to a single-process run.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		runMerge(os.Args[2:])
+		return
+	}
 	scale := flag.Float64("scale", 1.0, "workload scale factor (1.0 = paper sizes)")
 	nConfigs := flag.Int("configs", 450, "number of grid configurations (subsampled deterministically)")
 	kernelCSV := flag.String("kernels", "all", "comma-separated kernels or 'all'")
@@ -47,11 +61,26 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "stream each completed record to this JSONL file (crash-safe campaign state)")
 	resume := flag.Bool("resume", false, "skip runs already recorded in -checkpoint (requires -checkpoint)")
 	replot := flag.String("replot", "", "re-render tables/violins from a previously written CSV instead of simulating")
+	shard := flag.String("shard", "", "run only shard i/N of the campaign grid (e.g. 0/3); recombine with the merge subcommand")
+	gridCSV := flag.String("grid", "", "explicit comma-separated config names (e.g. 1c2w2t,4c4w4t); overrides -configs")
 	flag.Parse()
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "vortex-sweep: -resume requires -checkpoint")
 		os.Exit(1)
+	}
+	var shardIndex, shardCount int
+	if *shard != "" {
+		idxStr, countStr, ok := strings.Cut(*shard, "/")
+		var ierr, cerr error
+		if ok {
+			shardIndex, ierr = strconv.Atoi(idxStr)
+			shardCount, cerr = strconv.Atoi(countStr)
+		}
+		if !ok || ierr != nil || cerr != nil || shardCount < 1 || shardIndex < 0 || shardIndex >= shardCount {
+			fmt.Fprintf(os.Stderr, "vortex-sweep: bad -shard %q (want i/N with 0 <= i < N, e.g. 0/3)\n", *shard)
+			os.Exit(1)
+		}
 	}
 
 	if *replot != "" {
@@ -86,8 +115,28 @@ func main() {
 			names = append(names, strings.TrimSpace(f))
 		}
 	}
+	configs := sweep.Subsample(sweep.Grid(), *nConfigs)
+	if *gridCSV != "" {
+		configs = nil
+		for _, name := range strings.Split(*gridCSV, ",") {
+			name = strings.TrimSpace(name)
+			hw, err := core.ParseName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+				os.Exit(1)
+			}
+			// ParseName scans with Sscanf, which ignores trailing garbage;
+			// require the canonical name to round-trip so a typo cannot
+			// silently run a different grid.
+			if hw.Name() != name {
+				fmt.Fprintf(os.Stderr, "vortex-sweep: bad -grid config %q (want e.g. %s)\n", name, hw.Name())
+				os.Exit(1)
+			}
+			configs = append(configs, hw)
+		}
+	}
 	opts := sweep.Options{
-		Configs:       sweep.Subsample(sweep.Grid(), *nConfigs),
+		Configs:       configs,
 		Kernels:       names,
 		Scale:         *scale,
 		Seed:          *seed,
@@ -97,6 +146,8 @@ func main() {
 		CommitWorkers: *commitWorkers,
 		Checkpoint:    *checkpoint,
 		Resume:        *resume,
+		ShardIndex:    shardIndex,
+		ShardCount:    shardCount,
 	}
 	if *progress {
 		start := time.Now()
@@ -110,8 +161,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("Figure 2 reproduction: %d configs x %d kernels x 3 mappings, scale=%.2f, seed=%d\n\n",
-		len(opts.Configs), len(names), *scale, *seed)
+	shardNote := ""
+	if shardCount > 1 {
+		shardNote = fmt.Sprintf(", shard %d/%d", shardIndex, shardCount)
+	}
+	fmt.Printf("Figure 2 reproduction: %d configs x %d kernels x 3 mappings, scale=%.2f, seed=%d%s\n\n",
+		len(opts.Configs), len(names), *scale, *seed, shardNote)
 
 	res, err := sweep.Run(opts)
 	if err != nil {
@@ -136,16 +191,65 @@ func main() {
 	}
 
 	if *csvPath != "" {
-		f, err := os.Create(*csvPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := res.WriteCSV(f); err != nil {
-			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
-			os.Exit(1)
-		}
-		fmt.Printf("\nwrote %s (%d records)\n", *csvPath, len(res.Records))
+		writeCSVFile(res, *csvPath)
 	}
+}
+
+// runMerge implements the merge subcommand: recombine completed shard
+// checkpoints into single-process results, optionally writing a merged
+// checkpoint and CSV, and render the same report the single-process run
+// would print.
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("out", "", "write the merged campaign as a single unsharded checkpoint JSONL")
+	csvPath := fs.String("csv", "", "write the merged per-run records to this CSV file")
+	violins := fs.Bool("violins", false, "render ASCII violin plots (Figure 2)")
+	crossover := fs.String("crossover", "", "also render per-hp crossover curves against this baseline mapper (e.g. lws=32)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vortex-sweep merge [-out merged.jsonl] [-csv out.csv] [-violins] [-crossover lws=32] shard0.jsonl shard1.jsonl ...")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		fs.Usage()
+		os.Exit(1)
+	}
+	res, err := sweep.Merge(*out, fs.Args())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+		os.Exit(1)
+	}
+	if *out != "" {
+		fmt.Printf("merged %d shards into %s (%d records)\n\n", fs.NArg(), *out, len(res.Records))
+	}
+	if *violins {
+		err = res.RenderFigure2(os.Stdout, stats.ViolinOptions{Rows: 17, HalfWidth: 16})
+	} else {
+		err = res.RenderTable(os.Stdout)
+	}
+	if err == nil && *crossover != "" {
+		fmt.Println()
+		err = res.RenderCrossover(os.Stdout, *crossover)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+		os.Exit(1)
+	}
+	if *csvPath != "" {
+		writeCSVFile(res, *csvPath)
+	}
+}
+
+func writeCSVFile(res *sweep.Results, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := res.WriteCSV(f); err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s (%d records)\n", path, len(res.Records))
 }

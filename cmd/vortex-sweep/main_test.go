@@ -1,0 +1,213 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildSweep compiles the vortex-sweep binary into dir.
+func buildSweep(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "vortex-sweep")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// campaignArgs is the tiny fixed campaign every CLI test drives: explicit
+// grid so shard runs and the reference run agree on the canonical task
+// order, Workers=1 so the reference checkpoint is written in that order.
+var campaignArgs = []string{
+	"-grid", "1c2w2t,2c2w4t,4c4w4t",
+	"-kernels", "vecadd,saxpy",
+	"-scale", "0.05", "-seed", "7", "-workers", "1",
+}
+
+func runSweep(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %s: %v\nstderr: %s", bin, strings.Join(args, " "), err, errb.String())
+	}
+	return out.String()
+}
+
+// countLines returns the number of complete (newline-terminated) lines.
+func countLines(b []byte) int { return bytes.Count(b, []byte("\n")) }
+
+// truncateToLines keeps the first n complete lines of path.
+func truncateToLines(t *testing.T, path string, n int) {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := 0
+	for i := 0; i < n; i++ {
+		next := bytes.IndexByte(raw[idx:], '\n')
+		if next < 0 {
+			t.Fatalf("%s has fewer than %d lines", path, n)
+		}
+		idx += next + 1
+	}
+	if err := os.WriteFile(path, raw[:idx], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardKillResumeMergeCLI drives the full sharded-campaign lifecycle as
+// real subprocesses: three shards, one of them SIGKILLed mid-campaign and
+// resumed from whatever its checkpoint holds, then merged — and the merged
+// checkpoint and CSV must be byte-identical to a clean single-process run.
+func TestShardKillResumeMergeCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and builds the binary")
+	}
+	dir := t.TempDir()
+	bin := buildSweep(t, dir)
+
+	refCkpt := filepath.Join(dir, "ref.jsonl")
+	refCSV := filepath.Join(dir, "ref.csv")
+	runSweep(t, bin, append(append([]string{}, campaignArgs...),
+		"-checkpoint", refCkpt, "-csv", refCSV)...)
+
+	shardPaths := make([]string, 3)
+	for i := range shardPaths {
+		shardPaths[i] = filepath.Join(dir, "shard"+string(rune('0'+i))+".jsonl")
+	}
+
+	// Shards 0 and 2 run clean.
+	for _, i := range []int{0, 2} {
+		runSweep(t, bin, append(append([]string{}, campaignArgs...),
+			"-shard", string(rune('0'+i))+"/3", "-checkpoint", shardPaths[i])...)
+	}
+
+	// Shard 1 is SIGKILLed as soon as its checkpoint holds at least one
+	// record (the meta line plus one). If the campaign finishes first the
+	// kill is a no-op; the truncation below re-creates the mid-campaign
+	// state deterministically either way.
+	killCmd := exec.Command(bin, append(append([]string{}, campaignArgs...),
+		"-shard", "1/3", "-checkpoint", shardPaths[1])...)
+	if err := killCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { killCmd.Wait(); close(done) }()
+	deadline := time.After(30 * time.Second)
+poll:
+	for {
+		select {
+		case <-done:
+			break poll
+		case <-deadline:
+			killCmd.Process.Kill()
+			<-done
+			t.Fatal("shard 1 did not produce a record within 30s")
+		default:
+		}
+		if raw, err := os.ReadFile(shardPaths[1]); err == nil && countLines(raw) >= 2 {
+			killCmd.Process.Kill() // SIGKILL, no cleanup
+			<-done
+			break poll
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	// Force a mid-campaign checkpoint regardless of kill timing: keep the
+	// meta header and exactly one record, then re-tear the tail the way a
+	// SIGKILL mid-write does — the resume must repair it, not append onto it.
+	truncateToLines(t, shardPaths[1], 2)
+	f, err := os.OpenFile(shardPaths[1], os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"Config":{"Cores":2,"Wa`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Resume shard 1 to completion, then merge.
+	runSweep(t, bin, append(append([]string{}, campaignArgs...),
+		"-shard", "1/3", "-checkpoint", shardPaths[1], "-resume")...)
+
+	mergedCkpt := filepath.Join(dir, "merged.jsonl")
+	mergedCSV := filepath.Join(dir, "merged.csv")
+	mergeOut := runSweep(t, bin, "merge", "-out", mergedCkpt, "-csv", mergedCSV,
+		shardPaths[0], shardPaths[1], shardPaths[2])
+	if !strings.Contains(mergeOut, "merged 3 shards") {
+		t.Errorf("merge output missing summary:\n%s", mergeOut)
+	}
+
+	for _, pair := range [][2]string{{refCkpt, mergedCkpt}, {refCSV, mergedCSV}} {
+		want, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs from %s:\n--- want ---\n%s\n--- got ---\n%s",
+				pair[1], pair[0], want, got)
+		}
+	}
+}
+
+// TestShardFlagRejected pins strict -shard parsing: trailing garbage,
+// out-of-range indexes and zero counts must be refused up front, not run
+// as a silently different shard.
+func TestShardFlagRejected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and builds the binary")
+	}
+	dir := t.TempDir()
+	bin := buildSweep(t, dir)
+	for _, bad := range []string{"bogus", "1/3o", "1/3/4", "3/3", "-1/3", "0/0", "1/"} {
+		cmd := exec.Command(bin, "-shard", bad, "-grid", "1c2w2t", "-kernels", "vecadd", "-scale", "0.05")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("-shard %q accepted:\n%s", bad, out)
+		} else if !strings.Contains(string(out), "bad -shard") {
+			t.Errorf("-shard %q: unexpected error:\n%s", bad, out)
+		}
+	}
+	// -grid names must round-trip exactly: Sscanf-based parsing would
+	// otherwise accept trailing garbage and run a different grid.
+	for _, bad := range []string{"4c4w4t99", "4c4w4tt", "1c2w2t x"} {
+		cmd := exec.Command(bin, "-grid", bad, "-kernels", "vecadd", "-scale", "0.05")
+		out, err := cmd.CombinedOutput()
+		if err == nil {
+			t.Errorf("-grid %q accepted:\n%s", bad, out)
+		}
+	}
+}
+
+// TestMergeCLIRefusesBadShardSet pins the CLI surface of the merge
+// validation: a missing shard is refused with a diagnosable error.
+func TestMergeCLIRefusesBadShardSet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and builds the binary")
+	}
+	dir := t.TempDir()
+	bin := buildSweep(t, dir)
+	shard0 := filepath.Join(dir, "shard0.jsonl")
+	runSweep(t, bin, append(append([]string{}, campaignArgs...),
+		"-shard", "0/2", "-checkpoint", shard0)...)
+	cmd := exec.Command(bin, "merge", "-out", filepath.Join(dir, "m.jsonl"), shard0)
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("merge of 1 of 2 shards succeeded:\n%s", out)
+	}
+	if !strings.Contains(string(out), "missing shard 1/2") {
+		t.Errorf("merge error not diagnosable:\n%s", out)
+	}
+}

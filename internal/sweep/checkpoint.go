@@ -2,10 +2,12 @@ package sweep
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"sync"
 )
 
@@ -18,13 +20,17 @@ import (
 // byte-identical to an uninterrupted run. Failed records (Record.Err != "")
 // are never checkpointed: a resume retries them.
 
-// checkpointVersion guards the line format.
-const checkpointVersion = 1
+// checkpointVersion guards the line format. Version 2 added the shard
+// identity and the canonical task grid to the meta header; version-1 files
+// predate sharding and are refused rather than guessed at.
+const checkpointVersion = 2
 
 // checkpointMeta pins the sweep parameters that determine per-record
-// simulation results. A resume against a checkpoint whose meta differs
-// would silently splice records from a different experiment, so Run
-// refuses it.
+// simulation results, the canonical task grid, and which shard of it this
+// checkpoint covers. A resume against a checkpoint whose meta differs
+// would silently splice records from a different experiment (or from the
+// wrong shard), so Run refuses it; Merge requires all shard metas to agree
+// on everything but ShardIndex.
 type checkpointMeta struct {
 	Version          int     `json:"checkpoint_version"`
 	Scale            float64 `json:"scale"`
@@ -33,9 +39,29 @@ type checkpointMeta struct {
 	DispatchOverhead int64   `json:"dispatch_overhead"`
 	NoCoalesce       bool    `json:"no_coalesce"`
 	ConfigTag        string  `json:"config_tag,omitempty"`
+	ShardIndex       int     `json:"shard_index"`
+	ShardCount       int     `json:"shard_count"`
+	// Configs, Kernels and Mappers are the comma-joined axes of the
+	// canonical task grid, in grid order. They let Merge reconstruct the
+	// full task list (and verify shard coverage) from shard files alone.
+	Configs string `json:"configs"`
+	Kernels string `json:"kernels"`
+	Mappers string `json:"mappers"`
 }
 
 func metaFor(opts Options) checkpointMeta {
+	configs := make([]string, len(opts.Configs))
+	for i, hw := range opts.Configs {
+		configs[i] = hw.Name()
+	}
+	mappers := make([]string, len(opts.Mappers))
+	for i, m := range opts.Mappers {
+		mappers[i] = m.Name()
+	}
+	count := opts.ShardCount
+	if count < 1 {
+		count = 1
+	}
 	return checkpointMeta{
 		Version:          checkpointVersion,
 		Scale:            opts.Scale,
@@ -44,54 +70,107 @@ func metaFor(opts Options) checkpointMeta {
 		DispatchOverhead: opts.DispatchOverhead,
 		NoCoalesce:       opts.NoCoalesce,
 		ConfigTag:        opts.ConfigTag,
+		ShardIndex:       opts.ShardIndex,
+		ShardCount:       count,
+		Configs:          strings.Join(configs, ","),
+		Kernels:          strings.Join(opts.Kernels, ","),
+		Mappers:          strings.Join(mappers, ","),
 	}
+}
+
+// taskKey is the single definition of a task's identity string; the resume
+// splice, Record.Key and Merge's grid reconstruction must all agree on it.
+func taskKey(config, kernel, mapper string) string {
+	return config + "/" + kernel + "/" + mapper
 }
 
 // Key identifies the record's task: one (config, kernel, mapper) cell of
 // the campaign grid. Resume skips tasks whose key is already checkpointed.
 func (r Record) Key() string {
-	return r.Config.Name() + "/" + r.Kernel + "/" + r.Mapper
+	return taskKey(r.Config.Name(), r.Kernel, r.Mapper)
 }
 
 // ReadCheckpoint parses a JSONL checkpoint stream into its meta header (nil
 // if the stream is empty or headerless) and the recorded tasks by Key.
 // Later duplicates of a key win, so a checkpoint appended to by several
-// partial runs stays usable.
+// partial runs stays usable. A final line that is not newline-terminated
+// and does not parse is dropped rather than refused: it is the torn write
+// of a campaign killed mid-record (a strict prefix of a JSON object is
+// never itself valid JSON, so a torn line cannot be mistaken for a
+// complete one), and the resumed campaign simply retries that task.
+// Corrupt lines anywhere else in the stream are an error.
 func ReadCheckpoint(rd io.Reader) (*checkpointMeta, map[string]Record, error) {
 	out := map[string]Record{}
 	var meta *checkpointMeta
-	sc := bufio.NewScanner(rd)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	br := bufio.NewReaderSize(rd, 1<<16)
 	first := true
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	for {
+		line, terminated, rerr := readCheckpointLine(br)
+		if rerr != nil && rerr != io.EOF {
+			return nil, nil, rerr
 		}
-		if first {
+		if len(line) > 0 {
+			isMetaCandidate := first
 			first = false
-			var m checkpointMeta
-			if err := json.Unmarshal(line, &m); err == nil && m.Version > 0 {
-				if m.Version != checkpointVersion {
-					return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported", m.Version)
+			parsed := false
+			if isMetaCandidate {
+				var m checkpointMeta
+				if err := json.Unmarshal(line, &m); err == nil && m.Version > 0 {
+					if m.Version != checkpointVersion {
+						return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported", m.Version)
+					}
+					meta = &m
+					parsed = true
 				}
-				meta = &m
-				continue
+			}
+			if !parsed {
+				var rec Record
+				if err := json.Unmarshal(line, &rec); err != nil {
+					if !terminated {
+						return meta, out, nil // torn tail of a killed writer
+					}
+					return nil, nil, fmt.Errorf("sweep: corrupt checkpoint line: %w", err)
+				}
+				if rec.Kernel == "" || rec.Mapper == "" {
+					return nil, nil, fmt.Errorf("sweep: checkpoint line missing task identity: %q", line)
+				}
+				out[rec.Key()] = rec
 			}
 		}
-		var rec Record
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return nil, nil, fmt.Errorf("sweep: corrupt checkpoint line: %w", err)
+		if rerr == io.EOF {
+			return meta, out, nil
 		}
-		if rec.Kernel == "" || rec.Mapper == "" {
-			return nil, nil, fmt.Errorf("sweep: checkpoint line missing task identity: %q", line)
+	}
+}
+
+// maxCheckpointLine bounds one checkpoint line: real meta headers are a few
+// KiB (450 config names) and records a few hundred bytes, so anything past
+// this is a corrupt file, refused instead of read wholesale into memory
+// (or mistaken for a benign torn tail).
+const maxCheckpointLine = 1 << 20
+
+// readCheckpointLine reads the next line of at most maxCheckpointLine
+// bytes, reporting whether its newline terminator was present. The final
+// line of a stream comes back with io.EOF (and terminated=false when the
+// stream ends mid-line).
+func readCheckpointLine(br *bufio.Reader) (line []byte, terminated bool, err error) {
+	for {
+		frag, ferr := br.ReadSlice('\n')
+		line = append(line, frag...)
+		if len(line) > maxCheckpointLine {
+			return nil, false, fmt.Errorf("sweep: checkpoint line exceeds %d bytes", maxCheckpointLine)
 		}
-		out[rec.Key()] = rec
+		switch ferr {
+		case nil:
+			return bytes.TrimSuffix(line, []byte("\n")), true, nil
+		case bufio.ErrBufferFull:
+			continue
+		case io.EOF:
+			return line, false, io.EOF
+		default:
+			return nil, false, ferr
+		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, nil, err
-	}
-	return meta, out, nil
 }
 
 // readCheckpointFile loads a checkpoint from disk; a missing file is an
@@ -119,9 +198,12 @@ type checkpointWriter struct {
 
 // openCheckpoint opens path for streaming. resume appends to an existing
 // file; otherwise the file is truncated. A fresh (or empty) file gets the
-// meta header for opts first.
+// meta header for opts first. On resume, an unterminated final line — the
+// torn write of a killed campaign, which ReadCheckpoint ignores — is cut
+// off first, so the retried record starts on a fresh line instead of
+// concatenating onto the torn bytes and corrupting the file.
 func openCheckpoint(path string, resume bool, opts Options) (*checkpointWriter, error) {
-	flags := os.O_WRONLY | os.O_CREATE
+	flags := os.O_RDWR | os.O_CREATE
 	if resume {
 		flags |= os.O_APPEND
 	} else {
@@ -136,8 +218,15 @@ func openCheckpoint(path string, resume bool, opts Options) (*checkpointWriter, 
 		f.Close()
 		return nil, err
 	}
+	size := st.Size()
+	if resume {
+		if size, err = repairTornTail(f, size); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
 	c := &checkpointWriter{f: f, w: bufio.NewWriter(f)}
-	if st.Size() == 0 {
+	if size == 0 {
 		if err := c.appendJSON(metaFor(opts)); err != nil {
 			f.Close()
 			return nil, err
@@ -146,14 +235,91 @@ func openCheckpoint(path string, resume bool, opts Options) (*checkpointWriter, 
 	return c, nil
 }
 
-func (c *checkpointWriter) appendJSON(v any) error {
+// repairTornTail fixes an unterminated final line of f (size bytes long,
+// opened with O_APPEND) and returns the new size; a file ending in a
+// newline is left untouched. It must agree with ReadCheckpoint's accept
+// decision: a kill between a line's bytes and its newline leaves a line
+// the reader KEEPS, so its missing newline is appended (truncating it
+// would silently drop a spliced record from the repaired file); a kill
+// mid-line leaves unparseable torn bytes the reader drops, so they are
+// cut and the retried record starts on a fresh line.
+func repairTornTail(f *os.File, size int64) (int64, error) {
+	if size == 0 {
+		return 0, nil
+	}
+	// Collect the unterminated tail, scanning backward for the last newline
+	// (lastNL stays -1 when the whole file is one line — a torn or
+	// newline-less meta header).
+	const chunk = 64 << 10
+	var tail []byte
+	lastNL := int64(-1)
+	for end := size; end > 0 && lastNL < 0; {
+		start := end - chunk
+		if start < 0 {
+			start = 0
+		}
+		buf := make([]byte, end-start)
+		if _, err := f.ReadAt(buf, start); err != nil {
+			return size, err
+		}
+		if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+			lastNL = start + int64(i)
+			buf = buf[i+1:]
+		}
+		tail = append(append([]byte{}, buf...), tail...)
+		if int64(len(tail)) > maxCheckpointLine {
+			return size, fmt.Errorf("sweep: checkpoint tail exceeds %d bytes", maxCheckpointLine)
+		}
+		end = start
+	}
+	if len(tail) == 0 {
+		return size, nil
+	}
+	if tornLineComplete(tail, lastNL < 0) {
+		_, err := f.Write([]byte{'\n'}) // O_APPEND: finish the line in place
+		return size + 1, err
+	}
+	keep := lastNL + 1
+	return keep, f.Truncate(keep)
+}
+
+// tornLineComplete mirrors ReadCheckpoint's accept decision for a final
+// unterminated line: a record carrying its task identity, or — when it is
+// the file's only line — a current-version meta header.
+func tornLineComplete(line []byte, isFirstLine bool) bool {
+	if isFirstLine {
+		var m checkpointMeta
+		if err := json.Unmarshal(line, &m); err == nil && m.Version == checkpointVersion {
+			return true
+		}
+	}
+	var rec Record
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return false
+	}
+	return rec.Kernel != "" && rec.Mapper != ""
+}
+
+// writeJSONLine renders v exactly as the checkpoint stream does — one
+// compact JSON document per line. Both the streaming writer and the merge
+// writer go through it, so merged checkpoints stay byte-identical to the
+// files Run writes, and neither can emit a line the reader would refuse.
+func writeJSONLine(w io.Writer, v any) error {
 	b, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
+	if len(b) > maxCheckpointLine {
+		return fmt.Errorf("sweep: checkpoint line would exceed %d bytes", maxCheckpointLine)
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+func (c *checkpointWriter) appendJSON(v any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, err := c.w.Write(append(b, '\n')); err != nil {
+	if err := writeJSONLine(c.w, v); err != nil {
 		return err
 	}
 	return c.w.Flush()

@@ -249,10 +249,93 @@ func TestSweepCheckpointSkipsFailures(t *testing.T) {
 	}
 }
 
+// TestSweepResumeRepairsTornTail pins the kill-9 append path: a SIGKILL
+// mid-write leaves an unterminated partial line, and the resumed run must
+// cut it before appending — otherwise the retried record concatenates onto
+// the torn bytes and the checkpoint is permanently corrupt. After the
+// resume, the file must parse cleanly and splice fully.
+func TestSweepResumeRepairsTornTail(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "campaign.jsonl")
+	full := campaignOpts()
+	full.Checkpoint = ckpt
+	cold, err := Run(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the file mid-record: keep meta + 2 records + half of the next.
+	raw, err := os.ReadFile(ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.SplitAfter(string(raw), "\n")
+	torn := strings.Join(lines[:3], "") + lines[3][:len(lines[3])/2]
+	if err := os.WriteFile(ckpt, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	res := campaignOpts()
+	res.Checkpoint = ckpt
+	res.Resume = true
+	resumed, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Cache.Resumed != 2 {
+		t.Errorf("resumed %d records, want the 2 before the torn line", resumed.Cache.Resumed)
+	}
+	if !bytes.Equal(mustJSON(t, cold.Records), mustJSON(t, resumed.Records)) {
+		t.Error("records resumed over a torn tail not byte-identical")
+	}
+	// The repaired checkpoint is fully parseable and complete.
+	meta, seen, err := readCheckpointFile(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint corrupt after torn-tail resume: %v", err)
+	}
+	if meta == nil || len(seen) != len(cold.Records) {
+		t.Errorf("repaired checkpoint holds %d records, want %d", len(seen), len(cold.Records))
+	}
+
+	// A torn META header (no newline anywhere) is discarded and rewritten.
+	if err := os.WriteFile(ckpt, []byte(lines[0][:len(lines[0])/2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(res); err != nil {
+		t.Fatal(err)
+	}
+	if meta, seen, err := readCheckpointFile(ckpt); err != nil || meta == nil || len(seen) != len(cold.Records) {
+		t.Errorf("torn-meta resume left meta=%v records=%d err=%v", meta, len(seen), err)
+	}
+
+	// A kill between a record's bytes and its newline leaves a COMPLETE
+	// unterminated line, which the reader keeps and splices — the repair
+	// must finish that line, not cut it, or the spliced record silently
+	// vanishes from the repaired checkpoint.
+	fullFile := strings.Join(lines, "")
+	if err := os.WriteFile(ckpt, []byte(strings.TrimSuffix(fullFile, "\n")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	executed := 0
+	res.OnRecord = func(Record) { executed++ }
+	kept, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 || kept.Cache.Resumed != len(cold.Records) {
+		t.Errorf("flush-edge resume re-ran %d tasks (resumed %d), want a full splice", executed, kept.Cache.Resumed)
+	}
+	if meta, seen, err := readCheckpointFile(ckpt); err != nil || meta == nil || len(seen) != len(cold.Records) {
+		t.Errorf("flush-edge repair lost records: meta=%v records=%d want=%d err=%v", meta, len(seen), len(cold.Records), err)
+	}
+}
+
 // TestReadCheckpointCorruptLine pins the error path.
 func TestReadCheckpointCorruptLine(t *testing.T) {
-	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":1}\nnot json\n")); err == nil {
+	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":2}\nnot json\n")); err == nil {
 		t.Error("corrupt line accepted")
+	}
+	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":1}\n")); err == nil {
+		t.Error("pre-shard version-1 checkpoint accepted")
 	}
 	if _, _, err := ReadCheckpoint(strings.NewReader("{\"Cycles\":12}\n")); err == nil {
 		t.Error("record without task identity accepted")
@@ -260,6 +343,15 @@ func TestReadCheckpointCorruptLine(t *testing.T) {
 	meta, recs, err := ReadCheckpoint(strings.NewReader(""))
 	if err != nil || meta != nil || len(recs) != 0 {
 		t.Errorf("empty checkpoint: meta=%v recs=%v err=%v", meta, recs, err)
+	}
+	// A grotesquely long line (with or without newline) is corruption, not
+	// a torn tail: refuse it instead of buffering the whole stream.
+	long := strings.Repeat("x", maxCheckpointLine+1)
+	if _, _, err := ReadCheckpoint(strings.NewReader(long)); err == nil {
+		t.Error("over-long unterminated line accepted")
+	}
+	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":2}\n" + long + "\n")); err == nil {
+		t.Error("over-long terminated line accepted")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 )
 
 // CrossoverPoint summarizes one kernel's baseline-vs-ours ratio as a
@@ -85,15 +86,14 @@ func (r *Results) RenderCrossover(w io.Writer, baseline string) error {
 			return err
 		}
 		for _, p := range curve {
-			bar := ""
 			n := int(p.MeanRatio * 10)
 			if n > 60 {
 				n = 60
 			}
-			for i := 0; i < n; i++ {
-				bar += "#"
+			if n < 0 {
+				n = 0
 			}
-			if _, err := fmt.Fprintf(w, "  hp=%-6d %6.2fx |%s\n", p.HP, p.MeanRatio, bar); err != nil {
+			if _, err := fmt.Fprintf(w, "  hp=%-6d %6.2fx |%s\n", p.HP, p.MeanRatio, strings.Repeat("#", n)); err != nil {
 				return err
 			}
 		}

@@ -10,6 +10,27 @@ import (
 	"repro/internal/core"
 )
 
+// WriteCSV dumps every record.
+func (r *Results) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "config,cores,warps,threads,kernel,mapper,lws,cycles,instrs,mem_stall,exec_stall,energy_pj,boundedness,err"); err != nil {
+		return err
+	}
+	for _, rec := range r.Records {
+		// Err is free-form (error strings): commas are tolerated because it
+		// is the last column (ReadCSV rejoins it), but a newline would split
+		// the row, so flatten it.
+		errStr := strings.ReplaceAll(strings.ReplaceAll(rec.Err, "\r", " "), "\n", " ")
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%s,%s,%d,%d,%d,%d,%d,%.0f,%s,%s\n",
+			rec.Config.Name(), rec.Config.Cores, rec.Config.Warps, rec.Config.Threads,
+			rec.Kernel, rec.Mapper, rec.LWS, rec.Cycles, rec.Instrs,
+			rec.MemStall, rec.ExecStall, rec.EnergyPJ, rec.Boundedness, errStr)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ReadCSV parses records previously written by WriteCSV, so committed
 // sweep results can be re-analyzed and re-plotted without re-simulating.
 // It accepts both current files and older ones without the energy column.
@@ -42,10 +63,17 @@ func ReadCSV(r io.Reader) (*Results, error) {
 			return nil, fmt.Errorf("sweep: line %d has %d fields, want %d", lineNo, len(f), len(header))
 		}
 		get := func(name string) string {
-			if i, ok := col[name]; ok {
-				return f[i]
+			i, ok := col[name]
+			if !ok {
+				return ""
 			}
-			return ""
+			// The last column (err in files WriteCSV produces) is written
+			// unescaped and may itself contain commas — error strings
+			// often do — so it spans every remaining field.
+			if i == len(header)-1 {
+				return strings.Join(f[i:], ",")
+			}
+			return f[i]
 		}
 		hw, err := core.ParseName(get("config"))
 		if err != nil {
@@ -74,6 +102,18 @@ func ReadCSV(r io.Reader) (*Results, error) {
 		}
 		if v := get("energy_pj"); v != "" {
 			rec.EnergyPJ, _ = strconv.ParseFloat(v, 64)
+		}
+		// WriteCSV renders Boundedness as its String form; restore it so
+		// the classification survives the round trip. Anything else in the
+		// column is corruption — refuse it rather than silently regrouping
+		// the record as compute-bound. Empty is allowed: older files lack
+		// the column, and failed records never got classified.
+		switch v := get("boundedness"); v {
+		case core.MemoryBound.String():
+			rec.Boundedness = core.MemoryBound
+		case core.ComputeBound.String(), "":
+		default:
+			return nil, fmt.Errorf("sweep: line %d: unknown boundedness %q", lineNo, v)
 		}
 		res.Records = append(res.Records, rec)
 	}

@@ -129,23 +129,6 @@ func (r *Results) Aggregates() []Aggregate {
 	return out
 }
 
-// WriteCSV dumps every record.
-func (r *Results) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "config,cores,warps,threads,kernel,mapper,lws,cycles,instrs,mem_stall,exec_stall,energy_pj,boundedness,err"); err != nil {
-		return err
-	}
-	for _, rec := range r.Records {
-		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%s,%s,%d,%d,%d,%d,%d,%.0f,%s,%s\n",
-			rec.Config.Name(), rec.Config.Cores, rec.Config.Warps, rec.Config.Threads,
-			rec.Kernel, rec.Mapper, rec.LWS, rec.Cycles, rec.Instrs,
-			rec.MemStall, rec.ExecStall, rec.EnergyPJ, rec.Boundedness, rec.Err)
-		if err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // EnergyRatios returns baseline/ours energy ratios per configuration for
 // one kernel — the energy analogue of Ratios. Eq. 1 optimizes latency;
 // this quantifies what it does to consumption (mostly instruction-count

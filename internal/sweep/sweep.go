@@ -117,6 +117,17 @@ type Options struct {
 	// (in completion order, serialized by the runner). Resumed records are
 	// not replayed through OnRecord.
 	OnRecord func(Record)
+	// ShardIndex/ShardCount partition the canonical (config, kernel,
+	// mapper) task grid across independent processes: the run executes
+	// only tasks whose canonical grid index is congruent to ShardIndex
+	// modulo ShardCount. The stride interleaves shards over the grid's
+	// config-major order, so every shard sees the same mix of cheap and
+	// expensive configurations and shards finish together. ShardCount <= 1
+	// disables sharding. Shard identity (and the full grid) is recorded in
+	// the checkpoint meta and validated on Resume; Merge recombines
+	// completed shard checkpoints into single-process Results.
+	ShardIndex int
+	ShardCount int
 }
 
 func (o *Options) fill() {
@@ -144,6 +155,32 @@ func (o *Options) fill() {
 	if o.DispatchOverhead < 0 {
 		o.DispatchOverhead = -1
 	}
+	if o.ShardCount < 1 {
+		o.ShardCount = 1
+	}
+}
+
+// duplicateAxisEntry returns the name of the first repeated entry on any
+// grid axis (a task key is duplicated exactly when an axis value is), or
+// "" when all three axes are duplicate-free.
+func duplicateAxisEntry(opts Options) string {
+	axes := [][]string{nil, opts.Kernels, nil}
+	for _, hw := range opts.Configs {
+		axes[0] = append(axes[0], hw.Name())
+	}
+	for _, m := range opts.Mappers {
+		axes[2] = append(axes[2], m.Name())
+	}
+	for _, axis := range axes {
+		seen := map[string]bool{}
+		for _, name := range axis {
+			if seen[name] {
+				return name
+			}
+			seen[name] = true
+		}
+	}
+	return ""
 }
 
 // Record is one (config, kernel, mapper) simulation outcome.
@@ -197,17 +234,36 @@ type Results struct {
 // resulting Records are byte-identical to an uninterrupted run.
 func Run(opts Options) (*Results, error) {
 	opts.fill()
+	if opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount {
+		return nil, fmt.Errorf("sweep: shard index %d out of range for %d shards", opts.ShardIndex, opts.ShardCount)
+	}
+	if opts.ShardCount > 1 || opts.Checkpoint != "" {
+		// Sharding and checkpointing identify tasks by their (config,
+		// kernel, mapper) key; a duplicated grid entry would alias two
+		// tasks onto one key and silently mis-splice on resume or merge.
+		if dup := duplicateAxisEntry(opts); dup != "" {
+			return nil, fmt.Errorf("sweep: duplicate grid entry %s: sharding/checkpointing requires unique task keys", dup)
+		}
+	}
 	type task struct {
 		idx    int
 		hw     core.HWInfo
 		kernel string
 		mapper core.Mapper
 	}
+	// tasks is this process's slice of the canonical grid: every ShardCount-th
+	// task starting at ShardIndex. Records (and the checkpoint) cover only
+	// this shard, in shard-local canonical order; Merge reassembles shards
+	// into full-grid order.
 	var tasks []task
+	gridIdx := 0
 	for _, hw := range opts.Configs {
 		for _, kname := range opts.Kernels {
 			for _, m := range opts.Mappers {
-				tasks = append(tasks, task{idx: len(tasks), hw: hw, kernel: kname, mapper: m})
+				if gridIdx%opts.ShardCount == opts.ShardIndex {
+					tasks = append(tasks, task{idx: len(tasks), hw: hw, kernel: kname, mapper: m})
+				}
+				gridIdx++
 			}
 		}
 	}
@@ -235,7 +291,7 @@ func Run(opts Options) (*Results, error) {
 			return nil, fmt.Errorf("sweep: resume: checkpoint %s was written with different sweep options (%+v)", opts.Checkpoint, *meta)
 		}
 		for i, tk := range tasks {
-			key := tk.hw.Name() + "/" + tk.kernel + "/" + tk.mapper.Name()
+			key := taskKey(tk.hw.Name(), tk.kernel, tk.mapper.Name())
 			if rec, ok := seen[key]; ok {
 				records[i] = rec
 				skip[i] = true

@@ -440,10 +440,36 @@ func TestReadCSVErrors(t *testing.T) {
 		"config,kernel,mapper,lws,cycles\nnotaconfig,k,m,1,10\n",
 		"config,kernel,mapper,lws,cycles\n1c2w2t,k,m,x,10\n",
 		"config,kernel,mapper,lws,cycles\n1c2w2t,k\n",
+		"config,kernel,mapper,lws,cycles,boundedness\n1c2w2t,k,m,1,10,Memory-Bound\n",
 	}
 	for i, src := range cases {
 		if _, err := ReadCSV(strings.NewReader(src)); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
+	}
+}
+
+// TestWriteCSVSanitizesErr pins that free-form error strings cannot break
+// the CSV row structure: commas survive the round trip (err is the last
+// column and is rejoined on read), newlines are flattened on write.
+func TestWriteCSVSanitizesErr(t *testing.T) {
+	res := &Results{Records: []Record{{
+		Config: core.HWInfo{Cores: 1, Warps: 2, Threads: 2},
+		Kernel: "k", Mapper: "m",
+		Err: "bad dims, want 2,\ngot 3\r\nsomehow",
+	}}}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("CSV written by WriteCSV unreadable: %v", err)
+	}
+	if len(back.Records) != 1 {
+		t.Fatalf("round trip produced %d records", len(back.Records))
+	}
+	if got, want := back.Records[0].Err, "bad dims, want 2, got 3  somehow"; got != want {
+		t.Errorf("err round trip = %q, want %q", got, want)
 	}
 }
