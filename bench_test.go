@@ -186,38 +186,31 @@ func BenchmarkAblationCoalescing(b *testing.B) {
 	b.ReportMetric(e2/e1, "energy_ratio_uncoalesced")
 }
 
-// BenchmarkAblationScheduler (A3) compares round-robin and
-// greedy-then-oldest warp scheduling under the paper's mapper.
+// BenchmarkAblationScheduler (A3) compares the four warp-scheduling
+// policies under the paper's mapper, using the sweep's scheduler grid axis
+// (one campaign, one record per policy in axis order).
 func BenchmarkAblationScheduler(b *testing.B) {
-	var rr, gto float64
+	scheds := sim.SchedPolicies()
+	cycles := make([]float64, len(scheds))
 	for i := 0; i < b.N; i++ {
-		for _, pol := range []sim.SchedPolicy{sim.SchedRoundRobin, sim.SchedGTO} {
-			pol := pol
-			res, err := sweep.Run(sweep.Options{
-				Configs: []core.HWInfo{{Cores: 2, Warps: 8, Threads: 8}},
-				Kernels: []string{"sgemm"},
-				Mappers: []core.Mapper{core.Auto{}},
-				Scale:   0.25,
-				Seed:    42,
-				ConfigTemplate: func(hw core.HWInfo) sim.Config {
-					cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
-					cfg.Sched = pol
-					return cfg
-				},
-			})
-			if err != nil {
-				b.Fatal(err)
-			}
-			cycles := float64(res.Records[0].Cycles)
-			if pol == sim.SchedRoundRobin {
-				rr = cycles
-			} else {
-				gto = cycles
-			}
+		res, err := sweep.Run(sweep.Options{
+			Configs: []core.HWInfo{{Cores: 2, Warps: 8, Threads: 8}},
+			Kernels: []string{"sgemm"},
+			Mappers: []core.Mapper{core.Auto{}},
+			Scheds:  scheds,
+			Scale:   0.25,
+			Seed:    42,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j, rec := range res.Records {
+			cycles[j] = float64(rec.Cycles)
 		}
 	}
-	b.ReportMetric(rr, "cycles_rr")
-	b.ReportMetric(gto, "cycles_gto")
+	for j, pol := range scheds {
+		b.ReportMetric(cycles[j], "cycles_"+pol.String())
+	}
 }
 
 // BenchmarkSimulatorIssueRate measures raw simulator speed (simulated
@@ -393,6 +386,90 @@ func BenchmarkSimulatorIssuePath(b *testing.B) {
 	b.StopTimer()
 	issued := s.TotalStats().Issued - warmupIssued
 	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
+}
+
+// BenchmarkHighWarpIssue measures the sequential issue path at the warp
+// count where the legacy per-issue warp rescan dominated: 32 warps per
+// core, a loop mixing memory and FP dependencies so warps continuously
+// stall and wake. The ready-set/wake-heap scheduler touches only ready
+// warps per issue cycle; BenchmarkHighWarpIssueScan runs the identical
+// workload on the retained scan oracle (Config.ScanSched), so the pair
+// quantifies the rescan cost the heap removed. Simulated results are
+// byte-identical — both report device_cycles, which the deterministic CI
+// gate holds at zero drift.
+func BenchmarkHighWarpIssue(b *testing.B)     { benchHighWarp(b, false) }
+func BenchmarkHighWarpIssueScan(b *testing.B) { benchHighWarp(b, true) }
+
+func benchHighWarp(b *testing.B, scan bool) {
+	b.Helper()
+	cfg := sim.DefaultConfig(2, 32, 8)
+	cfg.Workers = 1
+	cfg.ScanSched = scan
+	// Each warp streams dependent loads over its own 4 KiB region at line
+	// stride; the 256 KiB aggregate footprint defeats the 128 KiB L2, so
+	// warps sleep on staggered DRAM fills and a typical issue cycle sees a
+	// couple of ready warps among dozens of stalled ones — the regime where
+	// the legacy engine's rescan walks the whole warp array per issue.
+	prog := `
+		csrr s0, cid
+		slli s0, s0, 17
+		csrr t0, wid
+		slli t1, t0, 12
+		add  s0, s0, t1
+		csrr t0, tid
+		slli t1, t0, 9
+		add  s0, s0, t1
+		li   t2, 0x100000
+		add  s0, s0, t2
+		li   t3, 8
+	loop:
+		lw   t4, 0(s0)
+		add  t4, t4, t3
+		fcvt.s.w f0, t4
+		fmadd.s f1, f0, f0, f0
+		sw   t4, 0(s0)
+		addi s0, s0, 64
+		addi t3, t3, -1
+		bnez t3, loop
+		ecall
+	`
+	p := asm.MustAssemble(prog, 0x1000, nil)
+	memory := mem.NewMemory(1 << 21)
+	hier, err := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(cfg, memory, hier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func() {
+		for c := 0; c < cfg.Cores; c++ {
+			for w := 0; w < cfg.Warps; w++ {
+				if err := s.ActivateWarp(c, w, 0x1000, 0xFF); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runOnce() // warm up: first activation allocates the register files
+	warmCycles := s.Cycle()
+	warmIssued := s.TotalStats().Issued
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce()
+	}
+	b.StopTimer()
+	issued := s.TotalStats().Issued - warmIssued
+	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
+	b.ReportMetric(float64(s.Cycle()-warmCycles)/float64(b.N), "device_cycles")
 }
 
 // BenchmarkAblationLineSize (A4) quantifies the explanation this

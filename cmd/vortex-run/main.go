@@ -6,7 +6,8 @@
 // Usage:
 //
 //	vortex-run [-config 4c8w16t] [-kernel sgemm] [-lws 0] [-scale 1.0]
-//	           [-mapper ours|lws=1|lws=32] [-seed 42] [-compare]
+//	           [-mapper ours|lws=1|lws=32] [-sched rr|gto|oldest|2lev]
+//	           [-seed 42] [-compare]
 package main
 
 import (
@@ -30,10 +31,16 @@ func main() {
 	compare := flag.Bool("compare", false, "run all three mappings and print the ratio table")
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
+	sched := flag.String("sched", "rr", "warp scheduler policy: rr, gto, oldest or 2lev")
 	cacheStats := flag.Bool("cache-stats", false, "print the campaign-engine cache counters (program cache, input memo) after the run")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, *workers, *commitWorkers); err != nil {
+	schedPol, err := sim.ParseSchedPolicy(*sched)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-run:", err)
+		os.Exit(1)
+	}
+	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, *workers, *commitWorkers, schedPol); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
 	}
@@ -58,9 +65,10 @@ func mapperByName(name string) (core.Mapper, error) {
 }
 
 // deviceConfig builds the simulator config for hw; workers > 0 overrides
-// the core-parallelism of the simulation engine (default: all host CPUs)
-// and commitWorkers > 0 the commit-phase sharding.
-func deviceConfig(hw core.HWInfo, workers, commitWorkers int) sim.Config {
+// the core-parallelism of the simulation engine (default: all host CPUs),
+// commitWorkers > 0 the commit-phase sharding, and sched the warp
+// scheduler policy.
+func deviceConfig(hw core.HWInfo, workers, commitWorkers int, sched sim.SchedPolicy) sim.Config {
 	cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
 	if workers > 0 {
 		cfg.Workers = workers
@@ -68,10 +76,11 @@ func deviceConfig(hw core.HWInfo, workers, commitWorkers int) sim.Config {
 	if commitWorkers > 0 {
 		cfg.CommitWorkers = commitWorkers
 	}
+	cfg.Sched = sched
 	return cfg
 }
 
-func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool, workers, commitWorkers int) error {
+func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool, workers, commitWorkers int, sched sim.SchedPolicy) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -81,14 +90,14 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 		return err
 	}
 	if compare {
-		return runCompare(hw, spec, scale, seed, workers, commitWorkers)
+		return runCompare(hw, spec, scale, seed, workers, commitWorkers, sched)
 	}
 	m, err := mapperByName(mapperName)
 	if err != nil {
 		return err
 	}
 
-	d, err := ocl.NewDevice(deviceConfig(hw, workers, commitWorkers))
+	d, err := ocl.NewDevice(deviceConfig(hw, workers, commitWorkers, sched))
 	if err != nil {
 		return err
 	}
@@ -124,8 +133,8 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 	return nil
 }
 
-func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, workers, commitWorkers int) error {
-	fmt.Printf("kernel %s on %s (hp=%d): comparing mappings\n\n", spec.Name, hw.Name(), hw.HP())
+func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, workers, commitWorkers int, sched sim.SchedPolicy) error {
+	fmt.Printf("kernel %s on %s (hp=%d, sched=%s): comparing mappings\n\n", spec.Name, hw.Name(), hw.HP(), sched)
 	type row struct {
 		name   string
 		mapper core.Mapper
@@ -141,7 +150,7 @@ func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, wo
 	// byte-identical to building a fresh device and skips the reallocation.
 	pool := ocl.NewDevicePool(1)
 	for i := range rows {
-		d, err := pool.Get(deviceConfig(hw, workers, commitWorkers))
+		d, err := pool.Get(deviceConfig(hw, workers, commitWorkers, sched))
 		if err != nil {
 			return err
 		}

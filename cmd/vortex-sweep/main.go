@@ -10,7 +10,8 @@
 // Usage:
 //
 //	vortex-sweep [-scale 1.0] [-configs 450] [-grid 1c2w2t,...] [-kernels all]
-//	             [-seed 42] [-violins] [-verify] [-csv out.csv] [-progress]
+//	             [-sched rr,gto,oldest,2lev] [-seed 42] [-violins] [-verify]
+//	             [-csv out.csv] [-progress]
 //	             [-checkpoint campaign.jsonl] [-resume] [-shard i/N]
 //	vortex-sweep merge [-out merged.jsonl] [-csv out.csv] [-violins]
 //	             [-crossover lws=32] shard0.jsonl shard1.jsonl ...
@@ -38,6 +39,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 )
@@ -63,7 +65,18 @@ func main() {
 	replot := flag.String("replot", "", "re-render tables/violins from a previously written CSV instead of simulating")
 	shard := flag.String("shard", "", "run only shard i/N of the campaign grid (e.g. 0/3); recombine with the merge subcommand")
 	gridCSV := flag.String("grid", "", "explicit comma-separated config names (e.g. 1c2w2t,4c4w4t); overrides -configs")
+	schedCSV := flag.String("sched", "rr", "comma-separated warp-scheduler grid axis (rr, gto, oldest, 2lev)")
 	flag.Parse()
+
+	var scheds []sim.SchedPolicy
+	for _, name := range strings.Split(*schedCSV, ",") {
+		p, err := sim.ParseSchedPolicy(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-sweep:", err)
+			os.Exit(1)
+		}
+		scheds = append(scheds, p)
+	}
 
 	if *resume && *checkpoint == "" {
 		fmt.Fprintln(os.Stderr, "vortex-sweep: -resume requires -checkpoint")
@@ -138,6 +151,7 @@ func main() {
 	opts := sweep.Options{
 		Configs:       configs,
 		Kernels:       names,
+		Scheds:        scheds,
 		Scale:         *scale,
 		Seed:          *seed,
 		Verify:        *verify,
@@ -165,8 +179,12 @@ func main() {
 	if shardCount > 1 {
 		shardNote = fmt.Sprintf(", shard %d/%d", shardIndex, shardCount)
 	}
-	fmt.Printf("Figure 2 reproduction: %d configs x %d kernels x 3 mappings, scale=%.2f, seed=%d%s\n\n",
-		len(opts.Configs), len(names), *scale, *seed, shardNote)
+	schedNote := ""
+	if len(scheds) > 1 {
+		schedNote = fmt.Sprintf(" x %d schedulers (%s)", len(scheds), *schedCSV)
+	}
+	fmt.Printf("Figure 2 reproduction: %d configs x %d kernels x 3 mappings%s, scale=%.2f, seed=%d%s\n\n",
+		len(opts.Configs), len(names), schedNote, *scale, *seed, shardNote)
 
 	res, err := sweep.Run(opts)
 	if err != nil {

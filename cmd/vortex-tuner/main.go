@@ -1,13 +1,15 @@
-// Command vortex-tuner contrasts empirical lws autotuning (the
+// Command vortex-tuner contrasts empirical autotuning (the
 // hardware-agnostic approach the paper's runtime technique replaces) with
 // the closed-form Eq. 1 decision: it searches the lws space of a kernel on
-// a device, reports the probes, and quantifies both the quality gap and
+// a device — optionally widened to the warp-scheduler axis with
+// -sched all — reports the probes, and quantifies both the quality gap and
 // the search overhead that Eq. 1 avoids.
 //
 // Usage:
 //
 //	vortex-tuner [-config 2c4w8t] [-kernel saxpy] [-scale 0.5]
-//	             [-strategy exhaustive|hillclimb] [-seed 42]
+//	             [-strategy exhaustive|hillclimb]
+//	             [-sched rr|gto|oldest|2lev|all] [-seed 42]
 package main
 
 import (
@@ -27,18 +29,19 @@ func main() {
 	kernel := flag.String("kernel", "saxpy", "kernel (registry name)")
 	scale := flag.Float64("scale", 0.5, "workload scale")
 	strategy := flag.String("strategy", "exhaustive", "search strategy: exhaustive or hillclimb")
+	sched := flag.String("sched", "rr", "warp scheduler to tune under (rr, gto, oldest, 2lev), or 'all' to search the policy axis too")
 	seed := flag.Int64("seed", 42, "input seed")
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel per probe (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *scale, *strategy, *seed, *workers, *commitWorkers); err != nil {
+	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *seed, *workers, *commitWorkers); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-tuner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgName, kernel string, scale float64, strategy string, seed int64, workers, commitWorkers int) error {
+func run(cfgName, kernel string, scale float64, strategy, schedName string, seed int64, workers, commitWorkers int) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -47,16 +50,36 @@ func run(cfgName, kernel string, scale float64, strategy string, seed int64, wor
 	if err != nil {
 		return err
 	}
-	cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
-	if workers > 0 {
-		cfg.Workers = workers
+	baseCfg := func(sched sim.SchedPolicy) sim.Config {
+		cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
+		if workers > 0 {
+			cfg.Workers = workers
+		}
+		if commitWorkers > 0 {
+			cfg.CommitWorkers = commitWorkers
+		}
+		cfg.Sched = sched
+		return cfg
 	}
-	if commitWorkers > 0 {
-		cfg.CommitWorkers = commitWorkers
+
+	var scheds []string
+	polByName := map[string]sim.SchedPolicy{}
+	if schedName == "all" {
+		for _, p := range sim.SchedPolicies() {
+			scheds = append(scheds, p.String())
+			polByName[p.String()] = p
+		}
+	} else {
+		p, err := sim.ParseSchedPolicy(schedName)
+		if err != nil {
+			return err
+		}
+		scheds = []string{p.String()}
+		polByName[p.String()] = p
 	}
 
 	// Discover the gws from a throwaway build.
-	probeDev, err := ocl.NewDevice(cfg)
+	probeDev, err := ocl.NewDevice(baseCfg(sim.SchedRoundRobin))
 	if err != nil {
 		return err
 	}
@@ -64,55 +87,72 @@ func run(cfgName, kernel string, scale float64, strategy string, seed int64, wor
 	if err != nil {
 		return err
 	}
+	if len(c0.Launches) == 0 {
+		return fmt.Errorf("kernel %s produced no launches", kernel)
+	}
 	gws := c0.Launches[0].GWS
 
-	runner := func(lws int) (uint64, error) {
-		d, err := ocl.NewDevice(cfg)
-		if err != nil {
-			return 0, err
+	mkRunner := func(schedName string) tuner.Runner {
+		pol := polByName[schedName]
+		return func(lws int) (uint64, error) {
+			d, err := ocl.NewDevice(baseCfg(pol))
+			if err != nil {
+				return 0, err
+			}
+			c, err := spec.Build(d, kernels.Params{Scale: scale, Seed: seed})
+			if err != nil {
+				return 0, err
+			}
+			res, err := c.RunVerified(d, lws)
+			if err != nil {
+				return 0, err
+			}
+			return res.Cycles, nil
 		}
-		c, err := spec.Build(d, kernels.Params{Scale: scale, Seed: seed})
-		if err != nil {
-			return 0, err
-		}
-		res, err := c.RunVerified(d, lws)
-		if err != nil {
-			return 0, err
-		}
-		return res.Cycles, nil
 	}
-
-	fmt.Printf("tuning %s (gws=%d) on %s (hp=%d), strategy: %s\n\n",
-		kernel, gws, hw.Name(), hw.HP(), strategy)
-
-	var res *tuner.Result
+	var search tuner.Strategy
 	switch strategy {
 	case "exhaustive":
-		res, err = tuner.Exhaustive(runner, gws, hw)
+		search = func(run tuner.Runner) (*tuner.Result, error) { return tuner.Exhaustive(run, gws, hw) }
 	case "hillclimb":
-		res, err = tuner.HillClimb(runner, gws, hw)
+		search = func(run tuner.Runner) (*tuner.Result, error) { return tuner.HillClimb(run, gws, hw) }
 	default:
 		return fmt.Errorf("unknown strategy %q", strategy)
 	}
+
+	fmt.Printf("tuning %s (gws=%d) on %s (hp=%d), strategy: %s, schedulers: %v\n\n",
+		kernel, gws, hw.Name(), hw.HP(), strategy, scheds)
+
+	probes, best, err := tuner.AcrossScheds(scheds, mkRunner, search)
 	if err != nil {
 		return err
 	}
-
-	fmt.Printf("%-8s %s\n", "lws", "cycles")
-	for _, p := range res.Probes {
-		marker := ""
-		if p.LWS == res.BestLWS {
-			marker = "  <- best"
+	for _, sp := range probes {
+		res := sp.Res
+		if len(probes) > 1 {
+			fmt.Printf("--- sched %s ---\n", sp.Sched)
 		}
-		if p.LWS == res.Eq1LWS {
-			marker += "  <- Eq. 1"
+		fmt.Printf("%-8s %s\n", "lws", "cycles")
+		for _, p := range res.Probes {
+			marker := ""
+			if p.LWS == res.BestLWS {
+				marker = "  <- best"
+			}
+			if p.LWS == res.Eq1LWS {
+				marker += "  <- Eq. 1"
+			}
+			fmt.Printf("%-8d %d%s\n", p.LWS, p.Cycles, marker)
 		}
-		fmt.Printf("%-8d %d%s\n", p.LWS, p.Cycles, marker)
+		fmt.Printf("\nsearched best: lws=%d (%d cycles) after %d probes\n",
+			res.BestLWS, res.BestCycles, len(res.Probes))
+		fmt.Printf("Eq. 1 answer:  lws=%d (%d cycles), %.3fx of the searched best — no probes needed\n",
+			res.Eq1LWS, res.Eq1Cycles, res.Eq1Gap())
+		fmt.Printf("search overhead: %.1fx the cost of one optimal launch\n\n", res.Overhead())
 	}
-	fmt.Printf("\nsearched best: lws=%d (%d cycles) after %d probes\n",
-		res.BestLWS, res.BestCycles, len(res.Probes))
-	fmt.Printf("Eq. 1 answer:  lws=%d (%d cycles), %.3fx of the searched best — no probes needed\n",
-		res.Eq1LWS, res.Eq1Cycles, res.Eq1Gap())
-	fmt.Printf("search overhead: %.1fx the cost of one optimal launch\n", res.Overhead())
+	if len(probes) > 1 {
+		bp := probes[best]
+		fmt.Printf("policy-axis best: sched=%s lws=%d (%d cycles); Eq. 1 under the same policy: %.3fx of it\n",
+			bp.Sched, bp.Res.BestLWS, bp.Res.BestCycles, bp.Res.Eq1Gap())
+	}
 	return nil
 }

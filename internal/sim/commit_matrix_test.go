@@ -53,15 +53,23 @@ type kernelRun struct {
 
 func runMatrixKernel(t *testing.T, name string, cell matrixCell, workers, commitWorkers int) kernelRun {
 	t.Helper()
-	spec, err := kernels.ByName(name)
-	if err != nil {
-		t.Fatal(err)
-	}
 	cfg := sim.DefaultConfig(4, 4, 8)
 	cfg.Mem.L2Banks = cell.banks
 	cfg.Mem.DRAM.Channels = cell.channels
 	cfg.Workers = workers
 	cfg.CommitWorkers = commitWorkers
+	return runMatrixKernelCfg(t, name, cfg, fmt.Sprintf("%+v workers=%d commit=%d", cell, workers, commitWorkers))
+}
+
+// runMatrixKernelCfg runs one registry kernel end-to-end on an explicit
+// configuration — the shared body of the bank x channel and sched x engine
+// matrices.
+func runMatrixKernelCfg(t *testing.T, name string, cfg sim.Config, label string) kernelRun {
+	t.Helper()
+	spec, err := kernels.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
 	d, err := ocl.NewDevice(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -72,7 +80,7 @@ func runMatrixKernel(t *testing.T, name string, cell matrixCell, workers, commit
 	}
 	res, err := c.RunVerified(d, 0)
 	if err != nil {
-		t.Fatalf("%s %+v workers=%d commit=%d: %v", name, cell, workers, commitWorkers, err)
+		t.Fatalf("%s %s: %v", name, label, err)
 	}
 	h := d.Sim().Hierarchy()
 	run := kernelRun{launches: res.Launches}

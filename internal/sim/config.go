@@ -6,7 +6,8 @@
 // with per-warp access coalescing.
 //
 // Timing model: each core issues at most one instruction per cycle from one
-// ready warp (round-robin or greedy-then-oldest). Instructions execute
+// ready warp, chosen by a pluggable scheduling policy (round-robin,
+// greedy-then-oldest, oldest-first or two-level; see sched.go). Instructions execute
 // functionally at issue; destination registers become visible after the
 // functional-unit latency, enforced by the scoreboard. Memory instructions
 // coalesce lane addresses into line requests processed one per LSU cycle and
@@ -20,15 +21,25 @@ import (
 	"repro/internal/mem"
 )
 
-// SchedPolicy selects the warp scheduling policy of a core.
+// SchedPolicy selects the warp scheduling policy of a core. The policies
+// themselves (issue-priority semantics, the ready-set/wake-heap engine that
+// drives them, and the legacy scan oracle) live in sched.go.
 type SchedPolicy uint8
 
 const (
 	// SchedRoundRobin rotates issue priority over warps each cycle.
 	SchedRoundRobin SchedPolicy = iota
 	// SchedGTO keeps issuing the same warp until it stalls, then switches
-	// to the least-recently-issued ready warp.
+	// to the next ready warp in scan order (greedy-then-oldest).
 	SchedGTO
+	// SchedOldestFirst issues the ready warp that has gone longest without
+	// issuing (earliest last-issue cycle, lowest warp id on ties).
+	SchedOldestFirst
+	// SchedTwoLevel partitions warps into fetch groups of eight and
+	// round-robins within the active group, switching groups only when no
+	// warp of the active group is ready — keeping the groups' memory
+	// accesses staggered (two-level warp scheduling).
+	SchedTwoLevel
 )
 
 func (s SchedPolicy) String() string {
@@ -37,8 +48,28 @@ func (s SchedPolicy) String() string {
 		return "rr"
 	case SchedGTO:
 		return "gto"
+	case SchedOldestFirst:
+		return "oldest"
+	case SchedTwoLevel:
+		return "2lev"
 	}
 	return fmt.Sprintf("sched(%d)", uint8(s))
+}
+
+// SchedPolicies lists every scheduling policy, in enum order.
+func SchedPolicies() []SchedPolicy {
+	return []SchedPolicy{SchedRoundRobin, SchedGTO, SchedOldestFirst, SchedTwoLevel}
+}
+
+// ParseSchedPolicy resolves a policy name as printed by
+// SchedPolicy.String ("rr", "gto", "oldest", "2lev").
+func ParseSchedPolicy(name string) (SchedPolicy, error) {
+	for _, p := range SchedPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown scheduler policy %q (want rr, gto, oldest or 2lev)", name)
 }
 
 // Latencies holds functional-unit latencies in cycles (from issue to the
@@ -68,6 +99,12 @@ type Config struct {
 	Mem   mem.HierarchyConfig
 	Lat   Latencies
 	Sched SchedPolicy
+
+	// ScanSched selects the legacy O(Warps) scan issue loop instead of the
+	// ready-set/wake-heap scheduler engine. The scan implements only the
+	// rr and gto policies and is retained as the differential-test oracle
+	// (the heap engine is byte-identical to it; see internal/sim/README.md).
+	ScanSched bool
 
 	// LSUPorts is the number of cache-line requests the load-store unit
 	// can issue per cycle (the banked L1 of Vortex services lanes hitting
@@ -125,6 +162,17 @@ func (c Config) Validate() error {
 	}
 	if c.Threads > 64 {
 		return fmt.Errorf("sim: threads per warp %d exceeds 64 (mask width)", c.Threads)
+	}
+	if c.Warps > 64 {
+		// Barrier waiter masks and the scheduler's ready set are 64-bit
+		// warp masks (the sweep grid tops out at 32 warps).
+		return fmt.Errorf("sim: warps per core %d exceeds 64 (warp-mask width)", c.Warps)
+	}
+	if _, err := ParseSchedPolicy(c.Sched.String()); err != nil {
+		return err
+	}
+	if c.ScanSched && c.Sched != SchedRoundRobin && c.Sched != SchedGTO {
+		return fmt.Errorf("sim: the scan-oracle issue loop implements only rr and gto, not %s", c.Sched)
 	}
 	if c.Lat == (Latencies{}) {
 		return fmt.Errorf("sim: zero latencies; use DefaultLatencies")

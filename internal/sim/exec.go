@@ -129,9 +129,11 @@ func (s *Sim) execute(c *simCore, wid int, w *warp, in isa.Inst) error {
 		// functional accesses at issue, in order. FENCE is a 1-cycle nop.
 
 	case op == isa.ECALL:
-		// Kernel exit for the issuing warp.
+		// Kernel exit for the issuing warp. The issuing warp is always in
+		// the ready set, so deactivation leaves it in neither scheduler set.
 		w.active = false
 		c.active--
+		c.ready &^= 1 << uint(wid)
 
 	case op == isa.EBREAK:
 		return s.trapf(c, wid, w, "ebreak")
@@ -181,6 +183,7 @@ func (s *Sim) execute(c *simCore, wid int, w *warp, in isa.Inst) error {
 		if nm == 0 {
 			w.active = false
 			c.active--
+			c.ready &^= 1 << uint(wid)
 		} else {
 			w.tmask = nm
 		}
@@ -197,6 +200,7 @@ func (s *Sim) execute(c *simCore, wid int, w *warp, in isa.Inst) error {
 				return s.trapf(c, wid, w, "vx_wspawn: warp %d already active", k)
 			}
 			s.resetWarp(tgt, entry, 1)
+			c.ready |= 1 << uint(k)
 			c.active++
 		}
 
@@ -241,10 +245,13 @@ func (s *Sim) execute(c *simCore, wid int, w *warp, in isa.Inst) error {
 			b := &c.barriers[id]
 			b.arrived++
 			if b.arrived >= count {
-				// Release everyone (the arriving warp never blocks).
+				// Release everyone (the arriving warp never blocks). Waiters
+				// re-enter the scheduler's ready set: a released warp's next
+				// attempt re-decodes at its post-barrier pc.
 				for m := b.waiters; m != 0; m &= m - 1 {
 					c.warps[bits.TrailingZeros64(m)].barWait = false
 				}
+				c.ready |= b.waiters
 				*b = barrier{}
 				if c.nextWake > s.cycle {
 					c.nextWake = s.cycle
@@ -252,6 +259,7 @@ func (s *Sim) execute(c *simCore, wid int, w *warp, in isa.Inst) error {
 			} else {
 				b.waiters |= 1 << uint(wid)
 				w.barWait = true
+				c.ready &^= 1 << uint(wid)
 			}
 		}
 

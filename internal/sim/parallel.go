@@ -160,7 +160,7 @@ func (s *Sim) runParallel(nw int) error {
 				s.accountStall(c, 1)
 				continue
 			}
-			issued, wake, err := s.issueOne(c)
+			issued, wake, err := s.issue(c)
 			if err != nil {
 				// Stop like the sequential engine stops its scan; the
 				// coordinator returns the lowest-core trap of this cycle.

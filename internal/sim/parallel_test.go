@@ -221,6 +221,16 @@ func TestParallelMatchesSequential(t *testing.T) {
 			func(cfg Config) func(*Sim) error { return activateAll(cfg, 4, 0xF) }},
 		{"wspawn-barrier", diffSpawnProg, SchedGTO,
 			func(cfg Config) func(*Sim) error { return activateAll(cfg, 1, 1) }},
+		// The two heap-only policies have no scan oracle; their contract is
+		// sequential/parallel byte-identity, same as rr/gto above.
+		{"mem-oldest", diffMemProg, SchedOldestFirst,
+			func(cfg Config) func(*Sim) error { return activateAll(cfg, 4, 0xF) }},
+		{"mem-2lev", diffMemProg, SchedTwoLevel,
+			func(cfg Config) func(*Sim) error { return activateAll(cfg, 4, 0xF) }},
+		{"wspawn-barrier-oldest", diffSpawnProg, SchedOldestFirst,
+			func(cfg Config) func(*Sim) error { return activateAll(cfg, 1, 1) }},
+		{"fp-divergence-2lev", diffFPProg, SchedTwoLevel,
+			func(cfg Config) func(*Sim) error { return activateAll(cfg, 4, 0xF) }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -105,10 +105,18 @@ type memDefer struct {
 }
 
 type simCore struct {
-	id       int
-	warps    []warp
+	id    int
+	warps []warp
+
+	// Scheduler state (see sched.go): the ready set and wake heap hold
+	// every active non-barrier warp between them; rr/cur/grp are the
+	// policies' per-core rotation pointers.
+	ready    uint64
+	wakeHeap []wakeEntry
 	rr       int
 	cur      int // GTO: warp currently owning issue priority
+	grp      int // two-level: active fetch group
+
 	lsuFree  uint64
 	nextWake uint64
 	active   int // number of active (incl. barrier-waiting) warps
@@ -135,6 +143,7 @@ type Sim struct {
 	meta     []instMeta
 	cores    []simCore
 	cycle    uint64
+	sched    Scheduler // policy singleton for cfg.Sched (sched.go)
 	observer func(IssueEvent)
 
 	// NoCoalesce issues one line request per active lane (ablation A2).
@@ -166,6 +175,7 @@ func New(cfg Config, memory *mem.Memory, hier *mem.Hierarchy) (*Sim, error) {
 		memory:   memory,
 		hier:     hier,
 		cores:    make([]simCore, cfg.Cores),
+		sched:    newScheduler(cfg.Sched),
 		fullMask: fullMask(cfg.Threads),
 		maxFU:    uint64(cfg.Lat.max()),
 	}
@@ -173,6 +183,9 @@ func New(cfg Config, memory *mem.Memory, hier *mem.Hierarchy) (*Sim, error) {
 		s.cores[i].id = i
 		s.cores[i].warps = make([]warp, cfg.Warps)
 		s.cores[i].lineBuf = make([]uint32, 0, 64)
+		// Each warp holds at most one heap entry, so the preallocation
+		// keeps the issue path allocation-free.
+		s.cores[i].wakeHeap = make([]wakeEntry, 0, cfg.Warps)
 	}
 	return s, nil
 }
@@ -279,8 +292,7 @@ func (s *Sim) Reset() {
 	s.NoCoalesce = false
 	for i := range s.cores {
 		c := &s.cores[i]
-		c.rr = 0
-		c.cur = 0
+		c.resetSched()
 		c.lsuFree = 0
 		c.nextWake = 0
 		c.active = 0
@@ -313,6 +325,9 @@ func (s *Sim) ActivateWarp(core, wid int, pc uint32, tmask uint64) error {
 		return fmt.Errorf("sim: warp (%d,%d) already active", core, wid)
 	}
 	s.resetWarp(w, pc, tmask)
+	// The warp was inactive, so it is in neither scheduler set (heap
+	// residency implies active); it enters through the ready set.
+	c.ready |= 1 << uint(wid)
 	c.active++
 	if c.nextWake > s.cycle {
 		c.nextWake = s.cycle
@@ -335,6 +350,10 @@ func (s *Sim) resetWarp(w *warp, pc uint32, tmask uint64) {
 	w.active = true
 	w.barWait = false
 	w.wakeValid = false
+	// Clear the issue timestamp so oldest-first gives fresh warps top
+	// priority instead of inheriting a previous launch's (or a previous
+	// incarnation's) history. rr/gto never read it.
+	w.last = 0
 	w.pc = pc
 	w.tmask = tmask
 }
@@ -375,6 +394,13 @@ const noWake = ^uint64(0)
 // Config.Workers (clamped to the core count) exceeds one and no observer is
 // installed, cores are simulated by the parallel engine; results are
 // byte-identical to the sequential engine for race-free kernels.
+//
+// Observer contract: an installed observer (SetObserver) silently forces
+// the sequential engine regardless of Config.Workers — per-issue callbacks
+// are specified to arrive in the global (cycle, core) issue order, which
+// only the sequential engine produces directly. The event stream is
+// therefore identical whether Workers is 1 or 64 (pinned by
+// TestObserverForcesSequentialOrder).
 func (s *Sim) Run() error {
 	if w := s.resolveWorkers(s.cfg.Workers); w > 1 {
 		return s.runParallel(w)
@@ -430,7 +456,7 @@ func (s *Sim) runSequential() error {
 				s.accountStall(c, 1)
 				continue
 			}
-			issued, wake, err := s.issueOne(c)
+			issued, wake, err := s.issue(c)
 			if err != nil {
 				return err
 			}
@@ -495,10 +521,25 @@ func (s *Sim) deadlockTrap() error {
 	return &Trap{Cycle: s.cycle, Reason: "deadlock: active warps but no schedulable event"}
 }
 
-// issueOne attempts to issue one instruction on core c at the current
-// cycle. It returns whether an instruction issued and, if not, the earliest
-// cycle at which the core might become ready.
-func (s *Sim) issueOne(c *simCore) (bool, uint64, error) {
+// issue attempts to issue one instruction on core c at the current cycle,
+// dispatching to the ready-set/wake-heap engine (sched.go) or, under
+// Config.ScanSched, to the legacy scan loop kept as its differential-test
+// oracle. Both engines share execute(), the stall cache and the stall
+// attribution, and are byte-identical in every simulated observable.
+func (s *Sim) issue(c *simCore) (bool, uint64, error) {
+	if s.cfg.ScanSched {
+		return s.issueScan(c)
+	}
+	return s.issueHeap(c)
+}
+
+// issueScan is the legacy issue loop: a full circular rescan of the core's
+// warps per attempt, with the rr/gto policy choice inlined. It is O(Warps)
+// per issue cycle where issueHeap touches only ready warps, and survives as
+// the oracle the scheduler differential matrices compare the heap engine
+// against. It returns whether an instruction issued and, if not, the
+// earliest cycle at which the core might become ready.
+func (s *Sim) issueScan(c *simCore) (bool, uint64, error) {
 	n := len(c.warps)
 	wake := noWake
 	blockMem := false

@@ -21,9 +21,12 @@ import (
 // are never checkpointed: a resume retries them.
 
 // checkpointVersion guards the line format. Version 2 added the shard
-// identity and the canonical task grid to the meta header; version-1 files
-// predate sharding and are refused rather than guessed at.
-const checkpointVersion = 2
+// identity and the canonical task grid to the meta header; version 3 added
+// the warp-scheduler grid axis (meta `scheds`, per-record `Sched`). Older
+// files are refused rather than guessed at: a v2 record carries no
+// scheduler identity, so splicing it into a v3 grid would silently assign
+// it to an arbitrary policy.
+const checkpointVersion = 3
 
 // checkpointMeta pins the sweep parameters that determine per-record
 // simulation results, the canonical task grid, and which shard of it this
@@ -41,12 +44,14 @@ type checkpointMeta struct {
 	ConfigTag        string  `json:"config_tag,omitempty"`
 	ShardIndex       int     `json:"shard_index"`
 	ShardCount       int     `json:"shard_count"`
-	// Configs, Kernels and Mappers are the comma-joined axes of the
-	// canonical task grid, in grid order. They let Merge reconstruct the
-	// full task list (and verify shard coverage) from shard files alone.
+	// Configs, Kernels, Mappers and Scheds are the comma-joined axes of
+	// the canonical task grid, in grid order. They let Merge reconstruct
+	// the full task list (and verify shard coverage) from shard files
+	// alone.
 	Configs string `json:"configs"`
 	Kernels string `json:"kernels"`
 	Mappers string `json:"mappers"`
+	Scheds  string `json:"scheds"`
 }
 
 func metaFor(opts Options) checkpointMeta {
@@ -57,6 +62,10 @@ func metaFor(opts Options) checkpointMeta {
 	mappers := make([]string, len(opts.Mappers))
 	for i, m := range opts.Mappers {
 		mappers[i] = m.Name()
+	}
+	scheds := make([]string, len(opts.Scheds))
+	for i, p := range opts.Scheds {
+		scheds[i] = p.String()
 	}
 	count := opts.ShardCount
 	if count < 1 {
@@ -75,19 +84,21 @@ func metaFor(opts Options) checkpointMeta {
 		Configs:          strings.Join(configs, ","),
 		Kernels:          strings.Join(opts.Kernels, ","),
 		Mappers:          strings.Join(mappers, ","),
+		Scheds:           strings.Join(scheds, ","),
 	}
 }
 
 // taskKey is the single definition of a task's identity string; the resume
 // splice, Record.Key and Merge's grid reconstruction must all agree on it.
-func taskKey(config, kernel, mapper string) string {
-	return config + "/" + kernel + "/" + mapper
+func taskKey(config, kernel, mapper, sched string) string {
+	return config + "/" + kernel + "/" + mapper + "/" + sched
 }
 
-// Key identifies the record's task: one (config, kernel, mapper) cell of
-// the campaign grid. Resume skips tasks whose key is already checkpointed.
+// Key identifies the record's task: one (config, kernel, mapper, sched)
+// cell of the campaign grid. Resume skips tasks whose key is already
+// checkpointed.
 func (r Record) Key() string {
-	return taskKey(r.Config.Name(), r.Kernel, r.Mapper)
+	return taskKey(r.Config.Name(), r.Kernel, r.Mapper, r.Sched)
 }
 
 // ReadCheckpoint parses a JSONL checkpoint stream into its meta header (nil
@@ -117,7 +128,8 @@ func ReadCheckpoint(rd io.Reader) (*checkpointMeta, map[string]Record, error) {
 				var m checkpointMeta
 				if err := json.Unmarshal(line, &m); err == nil && m.Version > 0 {
 					if m.Version != checkpointVersion {
-						return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported", m.Version)
+						return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported (this build reads v%d; v2 files predate the warp-scheduler grid axis and carry no per-record policy, so they cannot be spliced — re-run the campaign)",
+							m.Version, checkpointVersion)
 					}
 					meta = &m
 					parsed = true

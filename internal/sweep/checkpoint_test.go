@@ -187,6 +187,32 @@ func TestSweepCheckpointRequiresConfigTag(t *testing.T) {
 	}
 }
 
+// TestSweepResumeRejectsV2Checkpoint pins the version guard on the resume
+// path: a v2 checkpoint (pre-sched-axis) is refused with the version
+// diagnostic instead of being spliced into a grid its records cannot name
+// a scheduler for.
+func TestSweepResumeRejectsV2Checkpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "old.jsonl")
+	opts := campaignOpts()
+	opts.fill()
+	meta := metaFor(opts)
+	meta.Version = 2
+	meta.Scheds = ""
+	var buf bytes.Buffer
+	buf.Write(append(mustJSON(t, meta), '\n'))
+	if err := os.WriteFile(ckpt, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := campaignOpts()
+	res.Checkpoint = ckpt
+	res.Resume = true
+	_, err := Run(res)
+	if err == nil || !strings.Contains(err.Error(), "version 2 not supported") {
+		t.Errorf("resume of a v2 checkpoint: err = %v, want the version diagnostic", err)
+	}
+}
+
 // TestSweepResumeRejectsHeaderlessCheckpoint pins that records without a
 // meta header (edited or concatenated files) cannot be spliced in.
 func TestSweepResumeRejectsHeaderlessCheckpoint(t *testing.T) {
@@ -331,11 +357,17 @@ func TestSweepResumeRepairsTornTail(t *testing.T) {
 
 // TestReadCheckpointCorruptLine pins the error path.
 func TestReadCheckpointCorruptLine(t *testing.T) {
-	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":2}\nnot json\n")); err == nil {
+	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":3}\nnot json\n")); err == nil {
 		t.Error("corrupt line accepted")
 	}
 	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":1}\n")); err == nil {
 		t.Error("pre-shard version-1 checkpoint accepted")
+	}
+	// v2 files predate the warp-scheduler grid axis; their records carry no
+	// policy identity, so they are refused with a version diagnostic.
+	if _, _, err := ReadCheckpoint(strings.NewReader("{\"checkpoint_version\":2}\n")); err == nil ||
+		!strings.Contains(err.Error(), "version 2 not supported") {
+		t.Errorf("pre-sched-axis version-2 checkpoint: err = %v, want the version diagnostic", err)
 	}
 	if _, _, err := ReadCheckpoint(strings.NewReader("{\"Cycles\":12}\n")); err == nil {
 		t.Error("record without task identity accepted")

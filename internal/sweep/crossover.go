@@ -22,17 +22,17 @@ type CrossoverPoint struct {
 // order.
 func (r *Results) CrossoverCurve(kernel, baseline string) []CrossoverPoint {
 	base := map[int][]float64{} // hp -> ratios
-	ours := map[string]uint64{}
+	ours := map[string]uint64{} // sample key (config/sched) -> cycles
 	for _, rec := range r.Records {
 		if rec.Kernel == kernel && rec.Mapper == "ours" && rec.Err == "" {
-			ours[rec.Config.Name()] = rec.Cycles
+			ours[sampleKey(rec)] = rec.Cycles
 		}
 	}
 	for _, rec := range r.Records {
 		if rec.Kernel != kernel || rec.Mapper != baseline || rec.Err != "" {
 			continue
 		}
-		o := ours[rec.Config.Name()]
+		o := ours[sampleKey(rec)]
 		if o == 0 {
 			continue
 		}

@@ -47,6 +47,7 @@ func goldenResults() *Results {
 					Config:   hw,
 					Kernel:   k,
 					Mapper:   m,
+					Sched:    "rr",
 					LWS:      1 + mi*31,
 					Cycles:   cycles,
 					Instrs:   base / 10,

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // Merge recombines the checkpoints of a sharded campaign into the Results
@@ -45,12 +46,19 @@ func Merge(out string, paths []string) (*Results, error) {
 		shards[i] = recs
 	}
 
-	// Pairwise meta agreement, modulo the shard index.
+	// Pairwise meta agreement, modulo the shard index. A scheduler-axis
+	// disagreement gets its own diagnostic: mixing shards of campaigns
+	// that swept different policy sets is the likeliest way to end up
+	// here since the sched axis became part of the grid.
 	base := metas[0]
 	base.ShardIndex = 0
 	for i := 1; i < len(metas); i++ {
 		m := metas[i]
 		m.ShardIndex = 0
+		if m.Scheds != base.Scheds {
+			return nil, fmt.Errorf("sweep: merge: mixed-sched shard set: %s sweeps schedulers %q but %s sweeps %q",
+				paths[0], base.Scheds, paths[i], m.Scheds)
+		}
 		if m != base {
 			return nil, fmt.Errorf("sweep: merge: meta mismatch: %s and %s were written with different sweep options",
 				paths[0], paths[i])
@@ -82,23 +90,27 @@ func Merge(out string, paths []string) (*Results, error) {
 	configs := splitAxis(base.Configs)
 	kernels := splitAxis(base.Kernels)
 	mappers := splitAxis(base.Mappers)
-	if len(configs) == 0 || len(kernels) == 0 || len(mappers) == 0 {
+	scheds := splitAxis(base.Scheds)
+	if len(configs) == 0 || len(kernels) == 0 || len(mappers) == 0 || len(scheds) == 0 {
 		return nil, fmt.Errorf("sweep: merge: %s: meta does not describe a task grid", paths[0])
 	}
-	keyIdx := make(map[string]int, len(configs)*len(kernels)*len(mappers))
-	keys := make([]string, 0, len(configs)*len(kernels)*len(mappers))
+	size := len(configs) * len(kernels) * len(mappers) * len(scheds)
+	keyIdx := make(map[string]int, size)
+	keys := make([]string, 0, size)
 	for _, c := range configs {
 		for _, k := range kernels {
 			for _, m := range mappers {
-				key := taskKey(c, k, m)
-				if _, dup := keyIdx[key]; dup {
-					// Run refuses to checkpoint such a grid; a meta claiming
-					// one is hand-edited, and shard membership would be
-					// ambiguous.
-					return nil, fmt.Errorf("sweep: merge: %s: duplicate task %s in the campaign grid", paths[0], key)
+				for _, s := range scheds {
+					key := taskKey(c, k, m, s)
+					if _, dup := keyIdx[key]; dup {
+						// Run refuses to checkpoint such a grid; a meta claiming
+						// one is hand-edited, and shard membership would be
+						// ambiguous.
+						return nil, fmt.Errorf("sweep: merge: %s: duplicate task %s in the campaign grid", paths[0], key)
+					}
+					keyIdx[key] = len(keys)
+					keys = append(keys, key)
 				}
-				keyIdx[key] = len(keys)
-				keys = append(keys, key)
 			}
 		}
 	}
@@ -137,7 +149,7 @@ func Merge(out string, paths []string) (*Results, error) {
 	for gi, rec := range merged {
 		res.Records[gi] = *rec
 	}
-	res.Options = optionsFromMeta(base, configs, kernels)
+	res.Options = optionsFromMeta(base, configs, kernels, scheds)
 	if out != "" {
 		if err := writeMergedCheckpoint(out, base, res.Records); err != nil {
 			return nil, fmt.Errorf("sweep: merge: %w", err)
@@ -158,9 +170,9 @@ func splitAxis(s string) []string {
 // optionsFromMeta reconstructs the sweep parameters recorded in a merged
 // checkpoint meta, for reporting. Mappers are left nil: mapper objects
 // cannot be rebuilt from their names, and the render paths only read
-// Records. Unparseable config names are skipped (they cannot occur in a
-// meta Run wrote).
-func optionsFromMeta(m checkpointMeta, configs, kernels []string) Options {
+// Records. Unparseable config or scheduler names are skipped (they cannot
+// occur in a meta Run wrote).
+func optionsFromMeta(m checkpointMeta, configs, kernels, scheds []string) Options {
 	opts := Options{
 		Kernels:          kernels,
 		Scale:            m.Scale,
@@ -173,6 +185,11 @@ func optionsFromMeta(m checkpointMeta, configs, kernels []string) Options {
 	for _, name := range configs {
 		if hw, err := core.ParseName(name); err == nil {
 			opts.Configs = append(opts.Configs, hw)
+		}
+	}
+	for _, name := range scheds {
+		if p, err := sim.ParseSchedPolicy(name); err == nil {
+			opts.Scheds = append(opts.Scheds, p)
 		}
 	}
 	return opts

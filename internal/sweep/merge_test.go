@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sim"
 )
 
 // renderAll captures every render path fed by merged results: the Figure 2
@@ -275,13 +276,15 @@ func shardRecords(opts Options, shard int) []Record {
 	for _, hw := range opts.Configs {
 		for _, k := range opts.Kernels {
 			for _, m := range opts.Mappers {
-				if idx%2 == shard {
-					recs = append(recs, Record{
-						Config: hw, Kernel: k, Mapper: m.Name(),
-						LWS: 1, Cycles: uint64(1000 + idx), Instrs: uint64(100 + idx),
-					})
+				for _, p := range opts.Scheds {
+					if idx%2 == shard {
+						recs = append(recs, Record{
+							Config: hw, Kernel: k, Mapper: m.Name(), Sched: p.String(),
+							LWS: 1, Cycles: uint64(1000 + idx), Instrs: uint64(100 + idx),
+						})
+					}
+					idx++
 				}
-				idx++
 			}
 		}
 	}
@@ -341,6 +344,26 @@ func TestMergeErrorPaths(t *testing.T) {
 	writeShardFile(t, foreignPath, metaFor(foreign), shardRecords(foreign, 1))
 	check("mismatched meta", "meta mismatch", paths[0], foreignPath)
 
+	// Mixed-sched shard set: shard 1 swept a different scheduler axis. This
+	// is a meta mismatch too, but gets its own diagnostic naming the two
+	// policy sets.
+	mixed := opts
+	mixed.Scheds = []sim.SchedPolicy{sim.SchedGTO}
+	mixed.ShardIndex = 1
+	mixed.ShardCount = 2
+	mixedPath := filepath.Join(dir, "mixedsched.jsonl")
+	writeShardFile(t, mixedPath, metaFor(mixed), shardRecords(mixed, 1))
+	check("mixed-sched shard set", "mixed-sched shard set", paths[0], mixedPath)
+
+	// A v2 shard file (pre-sched-axis): refused by the checkpoint reader
+	// with the version diagnostic, before any merge validation runs.
+	v2Meta := metaFor(opts)
+	v2Meta.Version = 2
+	v2Meta.Scheds = ""
+	v2Path := filepath.Join(dir, "v2.jsonl")
+	writeShardFile(t, v2Path, v2Meta, nil)
+	check("v2 shard file", "version 2 not supported", v2Path)
+
 	// Headerless shard: records with no meta line.
 	headerless := filepath.Join(dir, "headerless.jsonl")
 	var buf bytes.Buffer
@@ -366,7 +389,7 @@ func TestMergeErrorPaths(t *testing.T) {
 	alien.ShardCount = 2
 	alienRecs := append(shardRecords(opts, 1), Record{
 		Config: core.HWInfo{Cores: 64, Warps: 32, Threads: 32},
-		Kernel: "vecadd", Mapper: "ours", Cycles: 1,
+		Kernel: "vecadd", Mapper: "ours", Sched: "rr", Cycles: 1,
 	})
 	alienPath := filepath.Join(dir, "alien.jsonl")
 	writeShardFile(t, alienPath, metaFor(alien), alienRecs)

@@ -9,12 +9,21 @@ import (
 	"repro/internal/stats"
 )
 
-// lookup returns cycles per config name for one (kernel, mapper).
+// sampleKey identifies one ratio sample point: a (config, sched) pair.
+// With the scheduler swept as a grid axis, each policy contributes its own
+// sample per configuration — mapper ratios are always compared within a
+// policy, never across (a single-sched sweep degenerates to config-only
+// keys, matching the pre-axis behaviour).
+func sampleKey(rec Record) string {
+	return rec.Config.Name() + "/" + rec.Sched
+}
+
+// lookup returns cycles per sample key for one (kernel, mapper).
 func (r *Results) lookup(kernel, mapper string) map[string]uint64 {
 	out := map[string]uint64{}
 	for _, rec := range r.Records {
 		if rec.Kernel == kernel && rec.Mapper == mapper && rec.Err == "" {
-			out[rec.Config.Name()] = rec.Cycles
+			out[sampleKey(rec)] = rec.Cycles
 		}
 	}
 	return out
@@ -142,9 +151,9 @@ func (r *Results) EnergyRatios(kernel, baseline, ours string) []float64 {
 		}
 		switch rec.Mapper {
 		case baseline:
-			base[rec.Config.Name()] = rec.EnergyPJ
+			base[sampleKey(rec)] = rec.EnergyPJ
 		case ours:
-			our[rec.Config.Name()] = rec.EnergyPJ
+			our[sampleKey(rec)] = rec.EnergyPJ
 		}
 	}
 	names := make([]string, 0, len(base))

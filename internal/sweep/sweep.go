@@ -66,6 +66,12 @@ type Options struct {
 	Kernels []string
 	// Mappers defaults to the paper's three: lws=1, lws=32, ours.
 	Mappers []core.Mapper
+	// Scheds is the warp-scheduler grid axis; it defaults to the simulator
+	// default {rr}. Each task's sim.Config.Sched is set from this axis —
+	// a ConfigTemplate that sets a non-default policy is refused (put the
+	// policies on this axis instead; the checkpoint meta records and
+	// validates them, which it could not do for a template's choice).
+	Scheds []sim.SchedPolicy
 	// Scale is the workload scale factor (1.0 = paper sizes).
 	Scale float64
 	// Seed drives input generation (shared by all runs of a kernel so
@@ -140,6 +146,9 @@ func (o *Options) fill() {
 	if o.Mappers == nil {
 		o.Mappers = []core.Mapper{core.Naive{}, core.Fixed{N: 32}, core.Auto{}}
 	}
+	if len(o.Scheds) == 0 {
+		o.Scheds = []sim.SchedPolicy{sim.SchedRoundRobin}
+	}
 	if o.Scale <= 0 {
 		o.Scale = 1
 	}
@@ -162,14 +171,17 @@ func (o *Options) fill() {
 
 // duplicateAxisEntry returns the name of the first repeated entry on any
 // grid axis (a task key is duplicated exactly when an axis value is), or
-// "" when all three axes are duplicate-free.
+// "" when all four axes are duplicate-free.
 func duplicateAxisEntry(opts Options) string {
-	axes := [][]string{nil, opts.Kernels, nil}
+	axes := [][]string{nil, opts.Kernels, nil, nil}
 	for _, hw := range opts.Configs {
 		axes[0] = append(axes[0], hw.Name())
 	}
 	for _, m := range opts.Mappers {
 		axes[2] = append(axes[2], m.Name())
+	}
+	for _, p := range opts.Scheds {
+		axes[3] = append(axes[3], p.String())
 	}
 	for _, axis := range axes {
 		seen := map[string]bool{}
@@ -183,12 +195,13 @@ func duplicateAxisEntry(opts Options) string {
 	return ""
 }
 
-// Record is one (config, kernel, mapper) simulation outcome.
+// Record is one (config, kernel, mapper, sched) simulation outcome.
 type Record struct {
 	Config      core.HWInfo
 	Kernel      string
 	Mapper      string
-	LWS         int // of the first launch
+	Sched       string // warp-scheduler policy name (sim.SchedPolicy.String)
+	LWS         int    // of the first launch
 	Cycles      uint64
 	Instrs      uint64
 	MemStall    uint64
@@ -239,8 +252,8 @@ func Run(opts Options) (*Results, error) {
 	}
 	if opts.ShardCount > 1 || opts.Checkpoint != "" {
 		// Sharding and checkpointing identify tasks by their (config,
-		// kernel, mapper) key; a duplicated grid entry would alias two
-		// tasks onto one key and silently mis-splice on resume or merge.
+		// kernel, mapper, sched) key; a duplicated grid entry would alias
+		// two tasks onto one key and silently mis-splice on resume or merge.
 		if dup := duplicateAxisEntry(opts); dup != "" {
 			return nil, fmt.Errorf("sweep: duplicate grid entry %s: sharding/checkpointing requires unique task keys", dup)
 		}
@@ -250,20 +263,24 @@ func Run(opts Options) (*Results, error) {
 		hw     core.HWInfo
 		kernel string
 		mapper core.Mapper
+		sched  sim.SchedPolicy
 	}
 	// tasks is this process's slice of the canonical grid: every ShardCount-th
 	// task starting at ShardIndex. Records (and the checkpoint) cover only
 	// this shard, in shard-local canonical order; Merge reassembles shards
-	// into full-grid order.
+	// into full-grid order. The scheduler axis nests innermost, after the
+	// mapper.
 	var tasks []task
 	gridIdx := 0
 	for _, hw := range opts.Configs {
 		for _, kname := range opts.Kernels {
 			for _, m := range opts.Mappers {
-				if gridIdx%opts.ShardCount == opts.ShardIndex {
-					tasks = append(tasks, task{idx: len(tasks), hw: hw, kernel: kname, mapper: m})
+				for _, sched := range opts.Scheds {
+					if gridIdx%opts.ShardCount == opts.ShardIndex {
+						tasks = append(tasks, task{idx: len(tasks), hw: hw, kernel: kname, mapper: m, sched: sched})
+					}
+					gridIdx++
 				}
-				gridIdx++
 			}
 		}
 	}
@@ -291,7 +308,7 @@ func Run(opts Options) (*Results, error) {
 			return nil, fmt.Errorf("sweep: resume: checkpoint %s was written with different sweep options (%+v)", opts.Checkpoint, *meta)
 		}
 		for i, tk := range tasks {
-			key := taskKey(tk.hw.Name(), tk.kernel, tk.mapper.Name())
+			key := taskKey(tk.hw.Name(), tk.kernel, tk.mapper.Name(), tk.sched.String())
 			if rec, ok := seen[key]; ok {
 				records[i] = rec
 				skip[i] = true
@@ -325,7 +342,7 @@ func Run(opts Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for tk := range ch {
-				rec := runOne(opts, pool, tk.hw, tk.kernel, tk.mapper)
+				rec := runOne(opts, pool, tk.hw, tk.kernel, tk.mapper, tk.sched)
 				records[tk.idx] = rec
 				mu.Lock()
 				if ckpt != nil && rec.Err == "" {
@@ -380,8 +397,8 @@ func Run(opts Options) (*Results, error) {
 	return res, nil
 }
 
-func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, mapper core.Mapper) Record {
-	rec := Record{Config: hw, Kernel: kname, Mapper: mapper.Name()}
+func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, mapper core.Mapper, sched sim.SchedPolicy) Record {
+	rec := Record{Config: hw, Kernel: kname, Mapper: mapper.Name(), Sched: sched.String()}
 	spec, err := kernels.ByName(kname)
 	if err != nil {
 		rec.Err = err.Error()
@@ -390,9 +407,19 @@ func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, ma
 	var cfg sim.Config
 	if opts.ConfigTemplate != nil {
 		cfg = opts.ConfigTemplate(hw)
+		if cfg.Sched != sim.SchedRoundRobin {
+			// The scheduler is a grid axis, not a template knob: the axis
+			// value is authoritative so the checkpoint meta can validate it
+			// on resume/merge. A template that sets a non-default policy
+			// (the pre-axis way to vary it) would be silently overridden —
+			// refuse it loudly instead.
+			rec.Err = fmt.Sprintf("ConfigTemplate sets the warp scheduler (%s); the scheduler is a grid axis — use Options.Scheds", cfg.Sched)
+			return rec
+		}
 	} else {
 		cfg = sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
 	}
+	cfg.Sched = sched
 	// The sweep already task-parallelizes across runs; share the host CPUs
 	// between the two levels instead of oversubscribing (Options.SimWorkers).
 	cfg.Workers = opts.SimWorkers

@@ -130,6 +130,42 @@ func HillClimb(run Runner, gws int, hw core.HWInfo) (*Result, error) {
 	return res, nil
 }
 
+// Strategy is one lws search procedure over a Runner (Exhaustive and
+// HillClimb curry their gws/hw arguments into this shape).
+type Strategy func(Runner) (*Result, error)
+
+// SchedProbe is one scheduler policy's tuned outcome.
+type SchedProbe struct {
+	Sched string
+	Res   *Result
+}
+
+// AcrossScheds widens the empirical search space to the warp-scheduler
+// axis: it runs the given lws search once per scheduler policy (mk builds
+// the policy's Runner) and returns the per-policy results plus the index
+// of the best (policy, lws) point. The policy names are opaque to the
+// tuner — callers pass sim scheduler names and a Runner factory that
+// configures the device accordingly — so the package keeps depending only
+// on core.
+func AcrossScheds(scheds []string, mk func(sched string) Runner, search Strategy) ([]SchedProbe, int, error) {
+	if len(scheds) == 0 {
+		return nil, -1, fmt.Errorf("tuner: no scheduler policies to search")
+	}
+	probes := make([]SchedProbe, 0, len(scheds))
+	best := -1
+	for _, sched := range scheds {
+		res, err := search(mk(sched))
+		if err != nil {
+			return nil, -1, fmt.Errorf("tuner: sched %s: %w", sched, err)
+		}
+		probes = append(probes, SchedProbe{Sched: sched, Res: res})
+		if best < 0 || res.BestCycles < probes[best].Res.BestCycles {
+			best = len(probes) - 1
+		}
+	}
+	return probes, best, nil
+}
+
 // Overhead reports how much simulated work the search spent relative to a
 // single launch at the best point — the cost a runtime-analytic mapper
 // avoids entirely.

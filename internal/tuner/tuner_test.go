@@ -159,3 +159,46 @@ func TestRunnerErrorsPropagate(t *testing.T) {
 		t.Errorf("hill climb error = %v", err)
 	}
 }
+
+// TestAcrossScheds pins the scheduler-axis search: the per-policy searches
+// run independently, the best (policy, lws) point is identified across
+// them, and errors and empty policy sets are refused.
+func TestAcrossScheds(t *testing.T) {
+	hw := core.HWInfo{Cores: 1, Warps: 2, Threads: 4}
+	const gws = 64
+	// Synthetic cost model: "fast" bottoms out lower than "slow", both
+	// unimodal in lws around 8.
+	mk := func(sched string) Runner {
+		bias := uint64(0)
+		if sched == "slow" {
+			bias = 500
+		}
+		return func(lws int) (uint64, error) {
+			d := lws - 8
+			if d < 0 {
+				d = -d
+			}
+			return 1000 + bias + uint64(d*100), nil
+		}
+	}
+	search := func(run Runner) (*Result, error) { return Exhaustive(run, gws, hw) }
+	probes, best, err := AcrossScheds([]string{"slow", "fast"}, mk, search)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(probes) != 2 || probes[0].Sched != "slow" || probes[1].Sched != "fast" {
+		t.Fatalf("probes = %+v", probes)
+	}
+	if best != 1 || probes[best].Res.BestLWS != 8 || probes[best].Res.BestCycles != 1000 {
+		t.Errorf("best = %d (%+v), want the fast policy at lws=8", best, probes[best].Res)
+	}
+
+	if _, _, err := AcrossScheds(nil, mk, search); err == nil {
+		t.Error("empty policy set accepted")
+	}
+	boom := errors.New("boom")
+	bad := func(string) Runner { return func(int) (uint64, error) { return 0, boom } }
+	if _, _, err := AcrossScheds([]string{"x"}, bad, search); !errors.Is(err, boom) {
+		t.Errorf("runner error = %v, want propagation", err)
+	}
+}
