@@ -472,6 +472,103 @@ func benchHighWarp(b *testing.B, scan bool) {
 	b.ReportMetric(float64(s.Cycle()-warmCycles)/float64(b.N), "device_cycles")
 }
 
+// BenchmarkManyCoreIdle pins the payoff of the event-driven device engine:
+// a 16c8w8t device in the DRAM-bound many-core-idle regime (GCNAggr/KNN
+// shaped: short bursts of address arithmetic between long irregular-access
+// miss sleeps), where on a typical cycle one core is issuing and the other
+// fifteen are asleep on DRAM fills. The legacy tick loop can never
+// fast-forward — some core always issues — so it visits all sixteen cores
+// every cycle and charges each sleeper's stall counters one cycle at a
+// time; the event engine touches only the due cores and settles the stall
+// spans in bulk. BenchmarkManyCoreIdleTick runs the identical workload on
+// the retained tick oracle (Config.TickEngine), so the pair quantifies the
+// per-cycle device scan the wake queue removed. Simulated results are
+// byte-identical — both report device_cycles, which the deterministic CI
+// gate holds at zero drift.
+func BenchmarkManyCoreIdle(b *testing.B)     { benchManyCoreIdle(b, false) }
+func BenchmarkManyCoreIdleTick(b *testing.B) { benchManyCoreIdle(b, true) }
+
+func benchManyCoreIdle(b *testing.B, tick bool) {
+	b.Helper()
+	cfg := sim.DefaultConfig(64, 8, 8)
+	cfg.Workers = 1
+	cfg.TickEngine = tick
+	// All gather traffic lands on a single DRAM channel — the worst-case
+	// hot-spot of an irregular gather, and the regime where a many-core
+	// device is maximally idle: fills serialize, so a core's miss sleep
+	// stretches from the 180-cycle DRAM latency to the whole channel queue.
+	cfg.Mem.DRAM.Channels = 1
+	// Core 0 spins a single-lane dependent ALU loop sized to outlast the
+	// memory side, keeping the device issuing every cycle. Every other core
+	// runs one warp whose eight lanes stream loads over disjoint 4 KiB
+	// regions at line stride: each lw misses clean through the L2 (the
+	// 2 MiB aggregate footprint defeats its 128 KiB), so between issue
+	// bursts of three instructions the core sleeps out the serialized DRAM
+	// fills. One warp per core means no second warp hides that latency —
+	// the core itself goes idle, which is the regime under test.
+	prog := `
+		csrr s0, cid
+		bnez s0, memside
+		li   t0, 67000
+	busy:
+		addi t0, t0, -1
+		bnez t0, busy
+		ecall
+	memside:
+		slli s0, s0, 15
+		csrr t0, tid
+		slli t1, t0, 12
+		add  s0, s0, t1
+		li   t2, 0x100000
+		add  s0, s0, t2
+		li   t5, 4096
+		add  s2, s0, t5
+	mloop:
+		lw   t4, 0(s0)
+		addi s0, s0, 64
+		bne  s0, s2, mloop
+		ecall
+	`
+	p := asm.MustAssemble(prog, 0x1000, nil)
+	memory := mem.NewMemory(1 << 23)
+	hier, err := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(cfg, memory, hier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func() {
+		if err := s.ActivateWarp(0, 0, 0x1000, 0x1); err != nil {
+			b.Fatal(err)
+		}
+		for c := 1; c < cfg.Cores; c++ {
+			if err := s.ActivateWarp(c, 0, 0x1000, 0xFF); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runOnce() // warm up: first activation allocates the register files
+	warmCycles := s.Cycle()
+	warmIssued := s.TotalStats().Issued
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce()
+	}
+	b.StopTimer()
+	issued := s.TotalStats().Issued - warmIssued
+	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
+	b.ReportMetric(float64(s.Cycle()-warmCycles)/float64(b.N), "device_cycles")
+}
+
 // BenchmarkAblationLineSize (A4) quantifies the explanation this
 // reproduction offers for the paper's unexplained "atypical" kernels
 // (knn, gauss, GCN aggregation): with lws > 1 the Vortex mapping makes

@@ -6,10 +6,21 @@
 // Usage:
 //
 //	vortex-benchcmp -baseline BENCH_baseline.json -current out.json [-threshold 0.15]
+//	                [-metric ns_per_op] [-filter '^BenchmarkFig2']
+//
+// -metric selects which column's medians are compared: ns_per_op gates
+// wall clock, allocs_per_op and B_per_op gate the allocation behaviour of
+// the hot simulation paths (deterministic, so they stay armed even across
+// machines), device_cycles gates the simulated-time model itself. -filter
+// restricts the comparison to benchmarks whose name matches the regexp,
+// so a gate can target just the paper-figure suite.
 //
 // Benchmarks present in only one file are reported but never fail the
 // gate, so adding or retiring benchmarks does not require lock-step
-// baseline updates. Cross-machine wall-clock comparisons are noisy, so a
+// baseline updates. A benchmark whose baseline median is zero cannot be
+// compared by ratio: it passes while the current median is also zero and
+// fails the moment allocations (or whatever the metric counts) appear.
+// Cross-machine wall-clock comparisons are noisy, so a
 // CPU-model mismatch between the two reports is surfaced as a warning and,
 // with -skip-cpu-mismatch (what CI uses), downgrades the gate to a report:
 // regressions are printed but do not fail the job. Regenerate the baseline
@@ -21,6 +32,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"sort"
 )
 
@@ -70,6 +82,17 @@ func medians(r *report, metric string) map[string]float64 {
 	return out
 }
 
+// filterNames drops every benchmark whose name does not match re.
+func filterNames(m map[string]float64, re *regexp.Regexp) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for name, v := range m {
+		if re.MatchString(name) {
+			out[name] = v
+		}
+	}
+	return out
+}
+
 // compare returns the regression report lines and whether the gate fails.
 func compare(base, cur map[string]float64, threshold float64) (lines []string, failed bool) {
 	names := make([]string, 0, len(base))
@@ -84,14 +107,24 @@ func compare(base, cur map[string]float64, threshold float64) (lines []string, f
 			lines = append(lines, fmt.Sprintf("  %-44s baseline-only (%.0f), skipped", name, b))
 			continue
 		}
-		ratio := c / b
 		verdict := "ok"
-		if ratio > 1+threshold {
+		change := "n/a"
+		switch {
+		case b == 0 && c > 0:
+			// No ratio exists against a zero baseline; going from none to
+			// some (allocations, typically) is always a regression.
 			verdict = "REGRESSION"
 			failed = true
+		case b > 0:
+			ratio := c / b
+			change = fmt.Sprintf("%+.1f%%", (ratio-1)*100)
+			if ratio > 1+threshold {
+				verdict = "REGRESSION"
+				failed = true
+			}
 		}
-		lines = append(lines, fmt.Sprintf("  %-44s %12.0f -> %12.0f  (%+.1f%%)  %s",
-			name, b, c, (ratio-1)*100, verdict))
+		lines = append(lines, fmt.Sprintf("  %-44s %12.0f -> %12.0f  (%s)  %s",
+			name, b, c, change, verdict))
 	}
 	for name := range cur {
 		if _, ok := base[name]; !ok {
@@ -106,12 +139,21 @@ func main() {
 	currentPath := flag.String("current", "", "freshly measured report to gate")
 	metric := flag.String("metric", "ns_per_op", "metric to compare medians of")
 	threshold := flag.Float64("threshold", 0.15, "maximum tolerated median regression (0.15 = +15%)")
+	filter := flag.String("filter", "", "regexp restricting which benchmarks are compared (applied to both reports)")
 	skipCPUMismatch := flag.Bool("skip-cpu-mismatch", false, "report but do not fail when the two reports come from different CPU models")
 	flag.Parse()
 
 	if *currentPath == "" {
 		fmt.Fprintln(os.Stderr, "vortex-benchcmp: -current is required")
 		os.Exit(2)
+	}
+	var filterRE *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if filterRE, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintln(os.Stderr, "vortex-benchcmp: bad -filter:", err)
+			os.Exit(2)
+		}
 	}
 	base, err := readReport(*baselinePath)
 	if err != nil {
@@ -129,8 +171,16 @@ func main() {
 			base.CPU, cur.CPU)
 	}
 
-	lines, failed := compare(medians(base, *metric), medians(cur, *metric), *threshold)
-	fmt.Printf("benchmark gate: %s medians, threshold +%.0f%%\n", *metric, *threshold*100)
+	baseM, curM := medians(base, *metric), medians(cur, *metric)
+	if filterRE != nil {
+		baseM, curM = filterNames(baseM, filterRE), filterNames(curM, filterRE)
+	}
+	lines, failed := compare(baseM, curM, *threshold)
+	fmt.Printf("benchmark gate: %s medians, threshold +%.0f%%", *metric, *threshold*100)
+	if filterRE != nil {
+		fmt.Printf(", filter %s", filterRE)
+	}
+	fmt.Println()
 	for _, l := range lines {
 		fmt.Println(l)
 	}

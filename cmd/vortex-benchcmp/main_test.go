@@ -3,6 +3,7 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -52,6 +53,36 @@ func TestCompareGate(t *testing.T) {
 	delete(base, "slow")
 	if _, failed := compare(base, cur, 0.15); failed {
 		t.Error("within-threshold drift failed the gate")
+	}
+}
+
+// A zero baseline median (an allocation-free benchmark, typically) has no
+// ratio: it must pass while the current median is also zero and fail as
+// soon as the metric becomes non-zero, without dividing by zero.
+func TestCompareZeroBaseline(t *testing.T) {
+	base := map[string]float64{"clean": 0}
+	if lines, failed := compare(base, map[string]float64{"clean": 0}, 0.15); failed {
+		t.Errorf("zero -> zero failed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	lines, failed := compare(base, map[string]float64{"clean": 3}, 0.15)
+	if !failed {
+		t.Errorf("zero -> 3 passed the gate:\n%s", strings.Join(lines, "\n"))
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "REGRESSION") || strings.Contains(joined, "Inf") || strings.Contains(joined, "NaN") {
+		t.Errorf("zero-baseline report malformed:\n%s", joined)
+	}
+}
+
+func TestFilterNames(t *testing.T) {
+	m := map[string]float64{
+		"BenchmarkFig2Vecadd":  1,
+		"BenchmarkFig2Saxpy":   2,
+		"BenchmarkSimulatorIR": 3,
+	}
+	got := filterNames(m, regexp.MustCompile(`^BenchmarkFig2`))
+	if len(got) != 2 || got["BenchmarkFig2Vecadd"] != 1 || got["BenchmarkFig2Saxpy"] != 2 {
+		t.Errorf("filterNames = %v, want the two Fig2 entries", got)
 	}
 }
 

@@ -7,7 +7,7 @@
 //
 //	vortex-run [-config 4c8w16t] [-kernel sgemm] [-lws 0] [-scale 1.0]
 //	           [-mapper ours|lws=1|lws=32] [-sched rr|gto|oldest|2lev]
-//	           [-seed 42] [-compare]
+//	           [-seed 42] [-compare] [-tick-engine]
 package main
 
 import (
@@ -32,6 +32,7 @@ func main() {
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	sched := flag.String("sched", "rr", "warp scheduler policy: rr, gto, oldest or 2lev")
+	tickEngine := flag.Bool("tick-engine", false, "use the legacy per-cycle tick loop instead of the event-driven device engine (identical results, differential oracle)")
 	cacheStats := flag.Bool("cache-stats", false, "print the campaign-engine cache counters (program cache, input memo) after the run")
 	flag.Parse()
 
@@ -40,7 +41,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
 	}
-	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, *workers, *commitWorkers, schedPol); err != nil {
+	dev := devOpts{workers: *workers, commitWorkers: *commitWorkers, sched: schedPol, tickEngine: *tickEngine}
+	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, dev); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
 	}
@@ -64,23 +66,35 @@ func mapperByName(name string) (core.Mapper, error) {
 	return nil, fmt.Errorf("unknown mapper %q", name)
 }
 
+// devOpts bundles the engine knobs forwarded to every device built by this
+// command: host parallelism, commit sharding, the warp scheduler policy and
+// the tick-engine fallback.
+type devOpts struct {
+	workers       int
+	commitWorkers int
+	sched         sim.SchedPolicy
+	tickEngine    bool
+}
+
 // deviceConfig builds the simulator config for hw; workers > 0 overrides
 // the core-parallelism of the simulation engine (default: all host CPUs),
-// commitWorkers > 0 the commit-phase sharding, and sched the warp
-// scheduler policy.
-func deviceConfig(hw core.HWInfo, workers, commitWorkers int, sched sim.SchedPolicy) sim.Config {
+// commitWorkers > 0 the commit-phase sharding, sched the warp scheduler
+// policy, and tickEngine selects the legacy per-cycle loop over the
+// event-driven engine (byte-identical results).
+func deviceConfig(hw core.HWInfo, dev devOpts) sim.Config {
 	cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
-	if workers > 0 {
-		cfg.Workers = workers
+	if dev.workers > 0 {
+		cfg.Workers = dev.workers
 	}
-	if commitWorkers > 0 {
-		cfg.CommitWorkers = commitWorkers
+	if dev.commitWorkers > 0 {
+		cfg.CommitWorkers = dev.commitWorkers
 	}
-	cfg.Sched = sched
+	cfg.Sched = dev.sched
+	cfg.TickEngine = dev.tickEngine
 	return cfg
 }
 
-func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool, workers, commitWorkers int, sched sim.SchedPolicy) error {
+func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed int64, compare bool, dev devOpts) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -90,14 +104,14 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 		return err
 	}
 	if compare {
-		return runCompare(hw, spec, scale, seed, workers, commitWorkers, sched)
+		return runCompare(hw, spec, scale, seed, dev)
 	}
 	m, err := mapperByName(mapperName)
 	if err != nil {
 		return err
 	}
 
-	d, err := ocl.NewDevice(deviceConfig(hw, workers, commitWorkers, sched))
+	d, err := ocl.NewDevice(deviceConfig(hw, dev))
 	if err != nil {
 		return err
 	}
@@ -133,8 +147,8 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 	return nil
 }
 
-func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, workers, commitWorkers int, sched sim.SchedPolicy) error {
-	fmt.Printf("kernel %s on %s (hp=%d, sched=%s): comparing mappings\n\n", spec.Name, hw.Name(), hw.HP(), sched)
+func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, dev devOpts) error {
+	fmt.Printf("kernel %s on %s (hp=%d, sched=%s): comparing mappings\n\n", spec.Name, hw.Name(), hw.HP(), dev.sched)
 	type row struct {
 		name   string
 		mapper core.Mapper
@@ -150,7 +164,7 @@ func runCompare(hw core.HWInfo, spec kernels.Spec, scale float64, seed int64, wo
 	// byte-identical to building a fresh device and skips the reallocation.
 	pool := ocl.NewDevicePool(1)
 	for i := range rows {
-		d, err := pool.Get(deviceConfig(hw, workers, commitWorkers, sched))
+		d, err := pool.Get(deviceConfig(hw, dev))
 		if err != nil {
 			return err
 		}

@@ -11,7 +11,7 @@
 //
 //	vortex-sweep [-scale 1.0] [-configs 450] [-grid 1c2w2t,...] [-kernels all]
 //	             [-sched rr,gto,oldest,2lev] [-seed 42] [-violins] [-verify]
-//	             [-csv out.csv] [-progress]
+//	             [-csv out.csv] [-progress] [-tick-engine]
 //	             [-checkpoint campaign.jsonl] [-resume] [-shard i/N]
 //	vortex-sweep merge [-out merged.jsonl] [-csv out.csv] [-violins]
 //	             [-crossover lws=32] shard0.jsonl shard1.jsonl ...
@@ -66,6 +66,7 @@ func main() {
 	shard := flag.String("shard", "", "run only shard i/N of the campaign grid (e.g. 0/3); recombine with the merge subcommand")
 	gridCSV := flag.String("grid", "", "explicit comma-separated config names (e.g. 1c2w2t,4c4w4t); overrides -configs")
 	schedCSV := flag.String("sched", "rr", "comma-separated warp-scheduler grid axis (rr, gto, oldest, 2lev)")
+	tickEngine := flag.Bool("tick-engine", false, "run every simulation on the legacy per-cycle tick loop instead of the event-driven device engine (identical records, differential oracle)")
 	flag.Parse()
 
 	var scheds []sim.SchedPolicy
@@ -158,6 +159,7 @@ func main() {
 		Workers:       *workers,
 		SimWorkers:    *simWorkers,
 		CommitWorkers: *commitWorkers,
+		TickEngine:    *tickEngine,
 		Checkpoint:    *checkpoint,
 		Resume:        *resume,
 		ShardIndex:    shardIndex,

@@ -9,7 +9,7 @@
 //
 //	vortex-tuner [-config 2c4w8t] [-kernel saxpy] [-scale 0.5]
 //	             [-strategy exhaustive|hillclimb]
-//	             [-sched rr|gto|oldest|2lev|all] [-seed 42]
+//	             [-sched rr|gto|oldest|2lev|all] [-seed 42] [-tick-engine]
 package main
 
 import (
@@ -33,15 +33,16 @@ func main() {
 	seed := flag.Int64("seed", 42, "input seed")
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel per probe (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
+	tickEngine := flag.Bool("tick-engine", false, "probe on the legacy per-cycle tick loop instead of the event-driven device engine (identical results, differential oracle)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *seed, *workers, *commitWorkers); err != nil {
+	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *seed, *workers, *commitWorkers, *tickEngine); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-tuner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgName, kernel string, scale float64, strategy, schedName string, seed int64, workers, commitWorkers int) error {
+func run(cfgName, kernel string, scale float64, strategy, schedName string, seed int64, workers, commitWorkers int, tickEngine bool) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -59,6 +60,7 @@ func run(cfgName, kernel string, scale float64, strategy, schedName string, seed
 			cfg.CommitWorkers = commitWorkers
 		}
 		cfg.Sched = sched
+		cfg.TickEngine = tickEngine
 		return cfg
 	}
 

@@ -106,6 +106,16 @@ type Config struct {
 	// (the heap engine is byte-identical to it; see internal/sim/README.md).
 	ScanSched bool
 
+	// TickEngine selects the legacy per-cycle tick loop instead of the
+	// event-driven device engine (event.go): every cycle visits every core
+	// with active warps, if only to account a stall and min-reduce its wake
+	// time. The tick loop is retained as the differential-test oracle — the
+	// event engine is byte-identical to it in every simulated observable
+	// (device cycles, statistics, stall attribution, observer stream; see
+	// internal/sim/README.md) — and composes with every scheduler policy,
+	// ScanSched, and both the sequential and parallel engines.
+	TickEngine bool
+
 	// LSUPorts is the number of cache-line requests the load-store unit
 	// can issue per cycle (the banked L1 of Vortex services lanes hitting
 	// distinct banks in parallel). Uncoalesced warp accesses occupy the

@@ -56,7 +56,16 @@ import (
 // addresses derived from its own gid). The only intentional divergence is
 // trap handling: on an execution trap the (cycle, core)-minimal trap is
 // returned, as in the sequential engine, but same-cycle side effects of
-// higher-numbered cores may already be visible.
+// higher-numbered cores may already be visible and — under the event
+// engine — stall spans still pending on other cores stay unsettled, so
+// statistics after an execution trap are unspecified. Deadlock traps and
+// the MaxCycles deadline are decided by the coordinator after a complete
+// cycle and stay byte-identical.
+//
+// Both engine flavours run through this machinery: the event engine
+// (event.go, the default) gives each worker a wake queue over its core
+// range so an issue phase touches only due cores, while Config.TickEngine
+// selects the legacy full-range scan step as the differential oracle.
 //
 // Synchronization is a generation-counter spin barrier: workers park in a
 // Gosched loop between steps and the coordinator publishes the phase kind
@@ -66,14 +75,20 @@ import (
 // calls keep the engine live (if slow), and resolveWorkers normally routes
 // such hosts to the sequential engine anyway via Config.Workers=NumCPU.
 
-// parWorker is one worker's core range and per-step result slate. The
-// trailing pad keeps adjacent workers' hot fields on distinct cache lines.
+// parWorker is one worker's core range and per-step result slate. Under
+// the event engine each worker also owns the wake queue of its core range
+// (q) and gathers the cores that deferred memory work this cycle (defers),
+// so the coordinator's commit list is the concatenation of the workers'
+// lists instead of an O(total cores) scan. The trailing pad keeps adjacent
+// workers' hot fields on distinct cache lines.
 type parWorker struct {
 	lo, hi    int
 	anyActive bool
 	issuedAny bool
 	minWake   uint64
 	err       error
+	q         eventQueue
+	defers    []int
 	_         [64]byte
 }
 
@@ -125,9 +140,13 @@ func (s *Sim) runParallel(nw int) error {
 	}
 
 	ws := make([]parWorker, nw)
+	tick := s.cfg.TickEngine
 	for i := range ws {
 		ws[i].lo = i * len(s.cores) / nw
 		ws[i].hi = (i + 1) * len(s.cores) / nw
+		if !tick {
+			ws[i].q.init(s, ws[i].lo, ws[i].hi, s.cycle)
+		}
 	}
 
 	ncw := s.resolveCommitWorkers(nw)
@@ -140,10 +159,11 @@ func (s *Sim) runParallel(nw int) error {
 		}
 	}
 
-	// step runs one issue phase over a worker's cores. It is the body of
-	// the sequential engine's per-cycle core loop, minus the shared-memory
-	// walks (deferred via s.par) and with results gathered per worker.
-	step := func(pw *parWorker) {
+	// stepTick runs one issue phase over a worker's cores under the legacy
+	// tick engine. It is the body of the sequential tick loop's per-cycle
+	// core loop, minus the shared-memory walks (deferred via s.par) and
+	// with results gathered per worker.
+	stepTick := func(pw *parWorker) {
 		pw.anyActive, pw.issuedAny = false, false
 		pw.minWake = noWake
 		pw.err = nil
@@ -178,6 +198,61 @@ func (s *Sim) runParallel(nw int) error {
 				s.accountStall(c, 1)
 			}
 		}
+	}
+
+	// stepEvent is the event-engine issue phase: the body of the sequential
+	// event loop's due-core pass over the worker's wake queue, gathering the
+	// cycle's deferred-commit cores as it goes. pw.minWake reports the
+	// queue's next timed wake for the coordinator's no-issue jump.
+	stepEvent := func(pw *parWorker) {
+		pw.issuedAny = false
+		pw.err = nil
+		pw.defers = pw.defers[:0]
+		q := &pw.q
+		due := q.collectDue(s.cycle)
+		q.running = q.running[:0]
+		for _, ci := range due {
+			c := &s.cores[ci]
+			if c.active == 0 {
+				q.live--
+				continue
+			}
+			s.flushStall(c)
+			issued, wake, err := s.issue(c)
+			if err != nil {
+				// Stop like the tick step stops its scan. Pending stall
+				// spans of other cores stay unsettled: statistics after a
+				// parallel-engine trap are unspecified (see the trap note in
+				// the file comment).
+				pw.err = err
+				return
+			}
+			switch {
+			case issued:
+				pw.issuedAny = true
+				c.nextWake = s.cycle + 1
+				c.stallFrom = noWake
+				q.running = append(q.running, ci)
+				if c.md.active {
+					pw.defers = append(pw.defers, int(ci))
+				}
+			case wake == noWake:
+				c.nextWake = noWake
+				c.stallFrom = s.cycle
+				q.parked = append(q.parked, ci)
+			default:
+				c.nextWake = wake
+				c.stallFrom = s.cycle
+				q.push(wake, ci)
+			}
+		}
+		pw.anyActive = q.live > 0
+		pw.minWake = q.next()
+	}
+
+	issueStep := stepEvent
+	if tick {
+		issueStep = stepTick
 	}
 
 	// bankStep/chanStep run one worker's share of a sharded commit. Banks
@@ -217,7 +292,7 @@ func (s *Sim) runParallel(nw int) error {
 				last++
 				switch phase {
 				case phaseIssue:
-					step(pw)
+					issueStep(pw)
 				case phaseBank:
 					bankStep(wi)
 				case phaseChannel:
@@ -244,7 +319,7 @@ func (s *Sim) runParallel(nw int) error {
 
 	for {
 		release(phaseIssue)
-		step(&ws[0]) // the coordinator doubles as worker 0
+		issueStep(&ws[0]) // the coordinator doubles as worker 0
 		barrier()
 
 		anyActive, issuedAny := false, false
@@ -268,13 +343,25 @@ func (s *Sim) runParallel(nw int) error {
 		// Commit phase: shared-memory requests in (cycle, core) order —
 		// globally on the serial path, restricted to each bank/channel on
 		// the sharded path. The two are byte-identical; the choice is a
-		// pure wall-clock trade (see parCommitMinMisses).
+		// pure wall-clock trade (see parCommitMinMisses). The event workers
+		// gathered their deferring cores during the issue phase (ranges and
+		// per-range due lists ascend, so the concatenation is in core
+		// order); the tick engine scans all cores, as it does everywhere.
 		list := s.commitList[:0]
 		misses := 0
-		for i := range s.cores {
-			if s.cores[i].md.active {
-				list = append(list, i)
-				misses += s.cores[i].md.nMiss
+		if tick {
+			for i := range s.cores {
+				if s.cores[i].md.active {
+					list = append(list, i)
+					misses += s.cores[i].md.nMiss
+				}
+			}
+		} else {
+			for wi := range ws {
+				for _, ci := range ws[wi].defers {
+					list = append(list, ci)
+					misses += s.cores[ci].md.nMiss
+				}
 			}
 		}
 		s.commitList = list
@@ -303,24 +390,22 @@ func (s *Sim) runParallel(nw int) error {
 		}
 		if issuedAny {
 			s.cycle++
+		} else if minWake == noWake {
+			// No timed event on any worker: every remaining live core is
+			// parked on a barrier that can never fill.
+			if !tick {
+				s.flushAllStalls(s.cycle + 1)
+			}
+			return s.deadlockTrap()
+		} else if tick {
+			s.jumpTo(minWake)
 		} else {
-			if minWake == noWake {
-				return s.deadlockTrap()
-			}
-			// Jump to the next event; attribute the skipped cycles to the
-			// same stall reasons (each stalled core already got 1 above).
-			delta := minWake - s.cycle
-			if delta > 1 {
-				for i := range s.cores {
-					c := &s.cores[i]
-					if c.active > 0 {
-						s.accountStall(c, delta-1)
-					}
-				}
-			}
-			s.cycle = minWake
+			s.cycle = minWake // stall spans settle lazily at the next pop
 		}
 		if s.cycle > deadline {
+			if !tick {
+				s.flushAllStalls(s.cycle)
+			}
 			return fmt.Errorf("sim: exceeded cycle limit %d on %s", limit, s.cfg.Name())
 		}
 	}

@@ -122,7 +122,12 @@ type simCore struct {
 	active   int // number of active (incl. barrier-waiting) warps
 	barriers [maxBarriers]barrier
 	blockMem bool // dominant stall reason of the last failed scan
-	stats    CoreStats
+	// stallFrom is the first cycle of the core's pending stall span under
+	// the event engine: stall cycles accrue lazily while the core sleeps in
+	// a device event queue and are settled in bulk by flushStall (event.go).
+	// noWake means no span is pending (the core issued last cycle).
+	stallFrom uint64
+	stats     CoreStats
 
 	// Per-core scratch for the coalescing path, preallocated so the issue
 	// path never allocates and cores can execute concurrently.
@@ -160,6 +165,12 @@ type Sim struct {
 	commitList []int
 	bankOps    [][]dramOp
 	chanOps    [][]dramOp
+
+	// Sequential event engine's core wake queue (event.go), kept on the
+	// Sim so its buffers are reused across Run calls: the issue path
+	// stays allocation-free in steady state even when a pooled device
+	// runs many launches.
+	evq eventQueue
 }
 
 // New builds a device simulator over the given memory system.
@@ -295,6 +306,7 @@ func (s *Sim) Reset() {
 		c.resetSched()
 		c.lsuFree = 0
 		c.nextWake = 0
+		c.stallFrom = 0
 		c.active = 0
 		c.barriers = [maxBarriers]barrier{}
 		c.blockMem = false
@@ -433,7 +445,22 @@ func (s *Sim) resolveWorkers(workers int) int {
 	return workers
 }
 
+// runSequential dispatches to the event-driven device engine (event.go)
+// or, under Config.TickEngine, to the legacy per-cycle tick loop kept as
+// its differential-test oracle. Both are byte-identical in every simulated
+// observable.
 func (s *Sim) runSequential() error {
+	if s.cfg.TickEngine {
+		return s.runSequentialTick()
+	}
+	return s.runSequentialEvent()
+}
+
+// runSequentialTick is the legacy sequential engine: every cycle visits
+// every core with active warps, if only to account a stall and min-reduce
+// its wake time, and fast-forwards only when no core at all issued. It is
+// O(total cores) per cycle where the event engine touches only due cores.
+func (s *Sim) runSequentialTick() error {
 	limit := s.cfg.MaxCycles
 	if limit == 0 {
 		limit = 1 << 40
@@ -480,18 +507,7 @@ func (s *Sim) runSequential() error {
 			if minWake == noWake {
 				return s.deadlockTrap()
 			}
-			// Jump to the next event; attribute the skipped cycles to the
-			// same stall reasons (each stalled core already got 1 above).
-			delta := minWake - s.cycle
-			if delta > 1 {
-				for i := range s.cores {
-					c := &s.cores[i]
-					if c.active > 0 {
-						s.accountStall(c, delta-1)
-					}
-				}
-			}
-			s.cycle = minWake
+			s.jumpTo(minWake)
 		}
 		if s.cycle > deadline {
 			return fmt.Errorf("sim: exceeded cycle limit %d on %s", limit, s.cfg.Name())

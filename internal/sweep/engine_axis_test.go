@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Sweep-level half of the engine differential harness: a campaign whose
+// devices run the legacy per-cycle tick loop (Options.TickEngine ->
+// sim.Config.TickEngine) must produce records byte-identical to the default
+// event-engine campaign, across the geometry, kernel, mapper and scheduler
+// axes. internal/sim pins the same property at the bare-simulator and
+// kernel-registry levels.
+func TestSweepTickEngineRecordIdentity(t *testing.T) {
+	event, err := Run(schedCampaignOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := schedCampaignOpts()
+	opts.TickEngine = true
+	oracle, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, event.Records), mustJSON(t, oracle.Records)) {
+		for i := range event.Records {
+			if !bytes.Equal(mustJSON(t, event.Records[i]), mustJSON(t, oracle.Records[i])) {
+				t.Errorf("record %d differs:\nevent %+v\ntick  %+v", i, event.Records[i], oracle.Records[i])
+			}
+		}
+		t.Fatal("event-engine sweep records not byte-identical to the tick oracle")
+	}
+}

@@ -110,6 +110,12 @@ type Options struct {
 	DispatchOverhead int64
 	// NoCoalesce disables the memory coalescer (ablation A2).
 	NoCoalesce bool
+	// TickEngine runs every simulation on the legacy per-cycle tick loop
+	// (sim.Config.TickEngine) instead of the event-driven device engine.
+	// The engines are byte-identical in every record, so the flag is a
+	// wall-clock/differential knob and is not part of the task identity
+	// recorded in checkpoints.
+	TickEngine bool
 	// Checkpoint, if non-empty, is a JSONL file each completed record is
 	// appended to (and flushed) as its simulation finishes, so a killed
 	// campaign preserves the work done. See checkpoint.go for the format.
@@ -425,6 +431,9 @@ func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, ma
 	cfg.Workers = opts.SimWorkers
 	if opts.CommitWorkers > 0 {
 		cfg.CommitWorkers = opts.CommitWorkers
+	}
+	if opts.TickEngine {
+		cfg.TickEngine = true
 	}
 	d, err := pool.Get(cfg)
 	if err != nil {
