@@ -1,10 +1,16 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -158,6 +164,217 @@ poll:
 		if !bytes.Equal(want, got) {
 			t.Errorf("%s differs from %s:\n--- want ---\n%s\n--- got ---\n%s",
 				pair[1], pair[0], want, got)
+		}
+	}
+}
+
+// pollStatus fetches the coordinator's /status JSON.
+func pollStatus(t *testing.T, addr string) (st struct {
+	Total     int  `json:"total"`
+	Completed int  `json:"completed"`
+	Leased    int  `json:"leased"`
+	Pending   int  `json:"pending"`
+	Reissued  int  `json:"leases_reissued"`
+	Done      bool `json:"done"`
+}) {
+	t.Helper()
+	resp, err := http.Get("http://" + addr + "/status")
+	if err != nil {
+		t.Fatalf("GET /status: %v", err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode /status: %v", err)
+	}
+	return st
+}
+
+// TestServeWorkKillRecoveryCLI drives the work-stealing campaign service as
+// real subprocesses: a coordinator on a kernel-picked port, one worker that
+// is SIGKILLed while it provably holds an unfinished lease, and a second
+// worker that triggers the lease re-issue and finishes the grid. The
+// coordinator's canonical -out checkpoint and CSV must be byte-identical to
+// a clean single-process run — a worker dying mid-lease must not perturb a
+// single record.
+func TestServeWorkKillRecoveryCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and builds the binary")
+	}
+	dir := t.TempDir()
+	bin := buildSweep(t, dir)
+
+	refCkpt := filepath.Join(dir, "ref.jsonl")
+	refCSV := filepath.Join(dir, "ref.csv")
+	runSweep(t, bin, append(append([]string{}, campaignArgs...),
+		"-checkpoint", refCkpt, "-csv", refCSV)...)
+
+	finalCkpt := filepath.Join(dir, "final.jsonl")
+	finalCSV := filepath.Join(dir, "final.csv")
+	serveCmd := exec.Command(bin, append([]string{"serve",
+		"-addr", "127.0.0.1:0", "-checkpoint", filepath.Join(dir, "served.jsonl"),
+		"-out", finalCkpt, "-csv", finalCSV,
+		"-lease-ttl", "2s", "-batch", "3", "-linger", "200ms"},
+		campaignArgs...)...)
+	servePipe, err := serveCmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveCmd.Stderr = os.Stderr
+	if err := serveCmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer serveCmd.Process.Kill()
+	serveOut := bufio.NewScanner(servePipe)
+	if !serveOut.Scan() {
+		t.Fatal("serve produced no output")
+	}
+	banner := serveOut.Text()
+	// "serving campaign on 127.0.0.1:PORT (N tasks, 0 resumed)" is the
+	// scrape contract for :0 listeners.
+	fields := strings.Fields(banner)
+	if len(fields) < 4 || !strings.HasPrefix(banner, "serving campaign on ") {
+		t.Fatalf("unexpected serve banner %q", banner)
+	}
+	addr := fields[3]
+	rest := make(chan string, 1)
+	go func() {
+		var b strings.Builder
+		b.WriteString(banner + "\n")
+		for serveOut.Scan() {
+			b.WriteString(serveOut.Text() + "\n")
+		}
+		rest <- b.String()
+	}()
+
+	// A worker describing a different campaign must be refused at
+	// enrollment, permanently — not retried into the grid.
+	alien := exec.Command(bin, append(append([]string{"work", "-coordinator", addr},
+		campaignArgs...), "-seed", "9")...)
+	if out, err := alien.CombinedOutput(); err == nil {
+		t.Fatalf("meta-mismatched worker accepted:\n%s", out)
+	} else if !strings.Contains(string(out), "meta mismatch") || !strings.Contains(string(out), "Seed") {
+		t.Errorf("meta-mismatch refusal not diagnosable:\n%s", out)
+	}
+
+	// Start victim workers until one is SIGKILLed while status shows tasks
+	// still leased — after the kill lands, nothing can submit them, so
+	// those leases MUST expire and be re-issued. (A victim that submits its
+	// whole batch in the poll-to-kill window is retried; each victim holds
+	// a 3-task lease for ~hundreds of ms, so the first try all but always
+	// sticks.)
+	killedHoldingLease := false
+	for attempt := 0; attempt < 10 && !killedHoldingLease; attempt++ {
+		st := pollStatus(t, addr)
+		if st.Pending+st.Leased < 6 {
+			t.Fatalf("campaign nearly done (status %+v) before a victim could be killed mid-lease", st)
+		}
+		victim := exec.Command(bin, append([]string{"work", "-coordinator", addr, "-worker",
+			fmt.Sprintf("victim%d", attempt), "-batch", "3"}, campaignArgs...)...)
+		if err := victim.Start(); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(30 * time.Second)
+		for time.Now().Before(deadline) {
+			if pollStatus(t, addr).Leased > 0 {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		victim.Process.Kill() // SIGKILL, no cleanup, no farewell submit
+		victim.Wait()
+		killedHoldingLease = pollStatus(t, addr).Leased > 0
+	}
+	if !killedHoldingLease {
+		t.Fatal("never caught a victim holding a lease at kill time")
+	}
+
+	// A clean worker finishes the grid: it polls, the dead victim's lease
+	// expires (2s TTL), and the freed tasks are re-issued to it.
+	finisher := runSweep(t, bin, append([]string{"work", "-coordinator", addr,
+		"-worker", "finisher"}, campaignArgs...)...)
+	if !strings.Contains(finisher, "campaign complete: this worker ran") {
+		t.Errorf("finisher output missing summary:\n%s", finisher)
+	}
+
+	if err := serveCmd.Wait(); err != nil {
+		t.Fatalf("serve exited with %v", err)
+	}
+	serveLog := <-rest
+	m := regexp.MustCompile(`(\d+) leases reissued`).FindStringSubmatch(serveLog)
+	if m == nil {
+		t.Fatalf("serve output missing reissue count:\n%s", serveLog)
+	}
+	if n, _ := strconv.Atoi(m[1]); n < 1 {
+		t.Errorf("killed worker's lease was never reissued:\n%s", serveLog)
+	}
+
+	for _, pair := range [][2]string{{refCkpt, finalCkpt}, {refCSV, finalCSV}} {
+		want, err := os.ReadFile(pair[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(pair[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want, got) {
+			t.Errorf("%s differs from %s:\n--- want ---\n%s\n--- got ---\n%s",
+				pair[1], pair[0], want, got)
+		}
+	}
+}
+
+// TestCampaignFlagRefusals pins the CLI-boundary validation diagnostics:
+// numeric nonsense, duplicated sched axis entries, -replot combined with
+// simulation-only flags, and serve/work missing their required flags all
+// fail up front with the offending flag named.
+func TestCampaignFlagRefusals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses and builds the binary")
+	}
+	dir := t.TempDir()
+	bin := buildSweep(t, dir)
+	base := []string{"-grid", "1c2w2t", "-kernels", "vecadd", "-scale", "0.05"}
+	for _, tc := range []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"dup sched", append(append([]string{}, base...), "-sched", "rr,gto,rr"),
+			"duplicate -sched entry rr"},
+		{"zero scale", []string{"-grid", "1c2w2t", "-kernels", "vecadd", "-scale", "0"},
+			"-scale must be > 0"},
+		{"negative scale", []string{"-grid", "1c2w2t", "-kernels", "vecadd", "-scale", "-0.5"},
+			"-scale must be > 0"},
+		{"zero configs", []string{"-kernels", "vecadd", "-scale", "0.05", "-configs", "0"},
+			"-configs must be >= 1"},
+		{"negative configs", []string{"-kernels", "vecadd", "-scale", "0.05", "-configs", "-3"},
+			"-configs must be >= 1"},
+		{"replot with checkpoint", []string{"-replot", "x.csv", "-checkpoint", "y.jsonl"},
+			"cannot be combined with -checkpoint"},
+		{"replot with resume+verify", []string{"-replot", "x.csv", "-resume", "-verify"},
+			"cannot be combined with -resume, -verify"},
+		{"replot with shard+csv", []string{"-replot", "x.csv", "-shard", "0/2", "-csv", "z.csv"},
+			"cannot be combined with -shard, -csv"},
+		{"serve without checkpoint", append([]string{"serve"}, base...),
+			"serve requires -checkpoint"},
+		{"serve with zero scale", []string{"serve", "-checkpoint", "c.jsonl",
+			"-grid", "1c2w2t", "-kernels", "vecadd", "-scale", "0"},
+			"-scale must be > 0"},
+		{"serve with dup sched", append([]string{"serve", "-checkpoint", filepath.Join(dir, "c.jsonl"),
+			"-sched", "gto,gto"}, base...), "duplicate -sched entry gto"},
+		{"work without coordinator", append([]string{"work"}, base...),
+			"work requires -coordinator"},
+		{"work with dup sched", append([]string{"work", "-coordinator", "127.0.0.1:1",
+			"-sched", "rr,rr"}, base...), "duplicate -sched entry rr"},
+	} {
+		out, err := exec.Command(bin, tc.args...).CombinedOutput()
+		if err == nil {
+			t.Errorf("%s: accepted:\n%s", tc.name, out)
+			continue
+		}
+		if !strings.Contains(string(out), tc.want) {
+			t.Errorf("%s: diagnostic %q missing %q", tc.name, out, tc.want)
 		}
 	}
 }

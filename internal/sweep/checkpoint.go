@@ -28,13 +28,15 @@ import (
 // it to an arbitrary policy.
 const checkpointVersion = 3
 
-// checkpointMeta pins the sweep parameters that determine per-record
-// simulation results, the canonical task grid, and which shard of it this
-// checkpoint covers. A resume against a checkpoint whose meta differs
-// would silently splice records from a different experiment (or from the
-// wrong shard), so Run refuses it; Merge requires all shard metas to agree
-// on everything but ShardIndex.
-type checkpointMeta struct {
+// Meta pins the sweep parameters that determine per-record simulation
+// results, the canonical task grid, and which shard of it this checkpoint
+// covers. A resume against a checkpoint whose meta differs would silently
+// splice records from a different experiment (or from the wrong shard), so
+// Run refuses it; Merge requires all shard metas to agree on everything but
+// ShardIndex; the campaign service refuses workers whose meta differs from
+// the served campaign's. Meta is a comparable value: two campaigns are the
+// same experiment exactly when their metas are ==.
+type Meta struct {
 	Version          int     `json:"checkpoint_version"`
 	Scale            float64 `json:"scale"`
 	Seed             int64   `json:"seed"`
@@ -54,7 +56,11 @@ type checkpointMeta struct {
 	Scheds  string `json:"scheds"`
 }
 
-func metaFor(opts Options) checkpointMeta {
+// MetaFor computes the campaign identity of opts (after defaulting). It is
+// the value the checkpoint header carries and the campaign service
+// validates worker enrollment against.
+func MetaFor(opts Options) Meta {
+	opts.fill()
 	configs := make([]string, len(opts.Configs))
 	for i, hw := range opts.Configs {
 		configs[i] = hw.Name()
@@ -71,7 +77,7 @@ func metaFor(opts Options) checkpointMeta {
 	if count < 1 {
 		count = 1
 	}
-	return checkpointMeta{
+	return Meta{
 		Version:          checkpointVersion,
 		Scale:            opts.Scale,
 		Seed:             opts.Seed,
@@ -110,9 +116,9 @@ func (r Record) Key() string {
 // never itself valid JSON, so a torn line cannot be mistaken for a
 // complete one), and the resumed campaign simply retries that task.
 // Corrupt lines anywhere else in the stream are an error.
-func ReadCheckpoint(rd io.Reader) (*checkpointMeta, map[string]Record, error) {
+func ReadCheckpoint(rd io.Reader) (*Meta, map[string]Record, error) {
 	out := map[string]Record{}
-	var meta *checkpointMeta
+	var meta *Meta
 	br := bufio.NewReaderSize(rd, 1<<16)
 	first := true
 	for {
@@ -125,7 +131,7 @@ func ReadCheckpoint(rd io.Reader) (*checkpointMeta, map[string]Record, error) {
 			first = false
 			parsed := false
 			if isMetaCandidate {
-				var m checkpointMeta
+				var m Meta
 				if err := json.Unmarshal(line, &m); err == nil && m.Version > 0 {
 					if m.Version != checkpointVersion {
 						return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported (this build reads v%d; v2 files predate the warp-scheduler grid axis and carry no per-record policy, so they cannot be spliced — re-run the campaign)",
@@ -185,9 +191,9 @@ func readCheckpointLine(br *bufio.Reader) (line []byte, terminated bool, err err
 	}
 }
 
-// readCheckpointFile loads a checkpoint from disk; a missing file is an
+// ReadCheckpointFile loads a checkpoint from disk; a missing file is an
 // empty checkpoint, not an error (first run of a resumable campaign).
-func readCheckpointFile(path string) (*checkpointMeta, map[string]Record, error) {
+func ReadCheckpointFile(path string) (*Meta, map[string]Record, error) {
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
 		return nil, map[string]Record{}, nil
@@ -199,22 +205,46 @@ func readCheckpointFile(path string) (*checkpointMeta, map[string]Record, error)
 	return ReadCheckpoint(f)
 }
 
-// checkpointWriter appends records to the JSONL checkpoint as they
+// ResumeRecords loads opts.Checkpoint and validates it against opts,
+// returning the recorded tasks by Key. It is the single resume gate Run and
+// the campaign service share: a checkpoint written by a different
+// experiment (or carrying records it cannot bind to options) is refused
+// rather than spliced.
+func ResumeRecords(opts Options) (map[string]Record, error) {
+	opts.fill()
+	meta, seen, err := ReadCheckpointFile(opts.Checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	if meta == nil && len(seen) > 0 {
+		// Records without the meta header cannot be validated against
+		// this sweep's options; splicing them in could silently break
+		// the byte-identity contract.
+		return nil, fmt.Errorf("checkpoint %s has records but no meta header", opts.Checkpoint)
+	}
+	if meta != nil && *meta != MetaFor(opts) {
+		return nil, fmt.Errorf("checkpoint %s was written with different sweep options (%+v)", opts.Checkpoint, *meta)
+	}
+	return seen, nil
+}
+
+// CheckpointWriter appends records to the JSONL checkpoint as they
 // complete, flushing per record so a killed campaign loses at most the
-// records in flight.
-type checkpointWriter struct {
+// records in flight. It is safe for concurrent use.
+type CheckpointWriter struct {
 	mu sync.Mutex
 	f  *os.File
 	w  *bufio.Writer
 }
 
-// openCheckpoint opens path for streaming. resume appends to an existing
+// OpenCheckpoint opens path for streaming. resume appends to an existing
 // file; otherwise the file is truncated. A fresh (or empty) file gets the
 // meta header for opts first. On resume, an unterminated final line — the
 // torn write of a killed campaign, which ReadCheckpoint ignores — is cut
 // off first, so the retried record starts on a fresh line instead of
 // concatenating onto the torn bytes and corrupting the file.
-func openCheckpoint(path string, resume bool, opts Options) (*checkpointWriter, error) {
+func OpenCheckpoint(path string, resume bool, opts Options) (*CheckpointWriter, error) {
+	opts.fill()
 	flags := os.O_RDWR | os.O_CREATE
 	if resume {
 		flags |= os.O_APPEND
@@ -237,9 +267,9 @@ func openCheckpoint(path string, resume bool, opts Options) (*checkpointWriter, 
 			return nil, err
 		}
 	}
-	c := &checkpointWriter{f: f, w: bufio.NewWriter(f)}
+	c := &CheckpointWriter{f: f, w: bufio.NewWriter(f)}
 	if size == 0 {
-		if err := c.appendJSON(metaFor(opts)); err != nil {
+		if err := c.appendJSON(MetaFor(opts)); err != nil {
 			f.Close()
 			return nil, err
 		}
@@ -300,7 +330,7 @@ func repairTornTail(f *os.File, size int64) (int64, error) {
 // the file's only line — a current-version meta header.
 func tornLineComplete(line []byte, isFirstLine bool) bool {
 	if isFirstLine {
-		var m checkpointMeta
+		var m Meta
 		if err := json.Unmarshal(line, &m); err == nil && m.Version == checkpointVersion {
 			return true
 		}
@@ -328,7 +358,7 @@ func writeJSONLine(w io.Writer, v any) error {
 	return err
 }
 
-func (c *checkpointWriter) appendJSON(v any) error {
+func (c *CheckpointWriter) appendJSON(v any) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := writeJSONLine(c.w, v); err != nil {
@@ -337,10 +367,12 @@ func (c *checkpointWriter) appendJSON(v any) error {
 	return c.w.Flush()
 }
 
-// append streams one completed record.
-func (c *checkpointWriter) append(rec Record) error { return c.appendJSON(rec) }
+// Append streams one completed record: one compact JSON line, flushed
+// before Append returns so a crash never loses an acknowledged record.
+func (c *CheckpointWriter) Append(rec Record) error { return c.appendJSON(rec) }
 
-func (c *checkpointWriter) Close() error {
+// Close flushes and closes the underlying file.
+func (c *CheckpointWriter) Close() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if err := c.w.Flush(); err != nil {

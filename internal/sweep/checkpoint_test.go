@@ -196,7 +196,7 @@ func TestSweepResumeRejectsV2Checkpoint(t *testing.T) {
 	ckpt := filepath.Join(dir, "old.jsonl")
 	opts := campaignOpts()
 	opts.fill()
-	meta := metaFor(opts)
+	meta := MetaFor(opts)
 	meta.Version = 2
 	meta.Scheds = ""
 	var buf bytes.Buffer
@@ -256,7 +256,7 @@ func TestSweepCheckpointSkipsFailures(t *testing.T) {
 	if _, err := Run(opts); err == nil {
 		t.Fatal("sweep with unknown kernel did not fail")
 	}
-	_, seen, err := readCheckpointFile(ckpt)
+	_, seen, err := ReadCheckpointFile(ckpt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestSweepResumeRepairsTornTail(t *testing.T) {
 		t.Error("records resumed over a torn tail not byte-identical")
 	}
 	// The repaired checkpoint is fully parseable and complete.
-	meta, seen, err := readCheckpointFile(ckpt)
+	meta, seen, err := ReadCheckpointFile(ckpt)
 	if err != nil {
 		t.Fatalf("checkpoint corrupt after torn-tail resume: %v", err)
 	}
@@ -329,7 +329,7 @@ func TestSweepResumeRepairsTornTail(t *testing.T) {
 	if _, err := Run(res); err != nil {
 		t.Fatal(err)
 	}
-	if meta, seen, err := readCheckpointFile(ckpt); err != nil || meta == nil || len(seen) != len(cold.Records) {
+	if meta, seen, err := ReadCheckpointFile(ckpt); err != nil || meta == nil || len(seen) != len(cold.Records) {
 		t.Errorf("torn-meta resume left meta=%v records=%d err=%v", meta, len(seen), err)
 	}
 
@@ -350,7 +350,7 @@ func TestSweepResumeRepairsTornTail(t *testing.T) {
 	if executed != 0 || kept.Cache.Resumed != len(cold.Records) {
 		t.Errorf("flush-edge resume re-ran %d tasks (resumed %d), want a full splice", executed, kept.Cache.Resumed)
 	}
-	if meta, seen, err := readCheckpointFile(ckpt); err != nil || meta == nil || len(seen) != len(cold.Records) {
+	if meta, seen, err := ReadCheckpointFile(ckpt); err != nil || meta == nil || len(seen) != len(cold.Records) {
 		t.Errorf("flush-edge repair lost records: meta=%v records=%d want=%d err=%v", meta, len(seen), len(cold.Records), err)
 	}
 }

@@ -26,7 +26,7 @@ func FuzzReadCheckpoint(f *testing.F) {
 	}
 	opts.fill()
 	var real bytes.Buffer
-	real.Write(jsonLine(f, metaFor(opts)))
+	real.Write(jsonLine(f, MetaFor(opts)))
 	rec := Record{Config: opts.Configs[0], Kernel: "vecadd", Mapper: "ours", LWS: 1, Cycles: 123, Instrs: 45, EnergyPJ: 1.5}
 	line := jsonLine(f, rec)
 	real.Write(line)
@@ -113,7 +113,7 @@ func TestReadCheckpointTornTail(t *testing.T) {
 		Scale:   0.05,
 	}
 	opts.fill()
-	meta := strings.TrimSuffix(string(jsonLine(t, metaFor(opts))), "\n")
+	meta := strings.TrimSuffix(string(jsonLine(t, MetaFor(opts))), "\n")
 	full := strings.TrimSuffix(string(jsonLine(t, Record{Config: opts.Configs[0], Kernel: "vecadd", Mapper: "ours", Cycles: 9})), "\n")
 
 	torn := meta + "\n" + full + "\n" + full[:len(full)/2]

@@ -27,7 +27,7 @@ func Merge(out string, paths []string) (*Results, error) {
 	if len(paths) == 0 {
 		return nil, fmt.Errorf("sweep: merge: no shard checkpoints given")
 	}
-	metas := make([]checkpointMeta, len(paths))
+	metas := make([]Meta, len(paths))
 	shards := make([]map[string]Record, len(paths))
 	for i, path := range paths {
 		f, err := os.Open(path)
@@ -94,6 +94,13 @@ func Merge(out string, paths []string) (*Results, error) {
 	if len(configs) == 0 || len(kernels) == 0 || len(mappers) == 0 || len(scheds) == 0 {
 		return nil, fmt.Errorf("sweep: merge: %s: meta does not describe a task grid", paths[0])
 	}
+	// A repeated scheduler gets its own diagnostic (mirroring Options
+	// validation, which refuses it before any run): the generic
+	// duplicate-task check below would fire too, but naming the policy makes
+	// a hand-edited meta diagnosable.
+	if dup := firstDuplicate(scheds); dup != "" {
+		return nil, fmt.Errorf("sweep: merge: %s: duplicate scheduler %s on the campaign sched axis", paths[0], dup)
+	}
 	size := len(configs) * len(kernels) * len(mappers) * len(scheds)
 	keyIdx := make(map[string]int, size)
 	keys := make([]string, 0, size)
@@ -151,11 +158,23 @@ func Merge(out string, paths []string) (*Results, error) {
 	}
 	res.Options = optionsFromMeta(base, configs, kernels, scheds)
 	if out != "" {
-		if err := writeMergedCheckpoint(out, base, res.Records); err != nil {
+		if err := WriteCheckpoint(out, base, res.Records); err != nil {
 			return nil, fmt.Errorf("sweep: merge: %w", err)
 		}
 	}
 	return res, nil
+}
+
+// firstDuplicate returns the first repeated entry of axis, or "".
+func firstDuplicate(axis []string) string {
+	seen := make(map[string]bool, len(axis))
+	for _, name := range axis {
+		if seen[name] {
+			return name
+		}
+		seen[name] = true
+	}
+	return ""
 }
 
 // splitAxis splits one comma-joined grid axis from the meta; an empty
@@ -172,7 +191,7 @@ func splitAxis(s string) []string {
 // cannot be rebuilt from their names, and the render paths only read
 // Records. Unparseable config or scheduler names are skipped (they cannot
 // occur in a meta Run wrote).
-func optionsFromMeta(m checkpointMeta, configs, kernels, scheds []string) Options {
+func optionsFromMeta(m Meta, configs, kernels, scheds []string) Options {
 	opts := Options{
 		Kernels:          kernels,
 		Scale:            m.Scale,
@@ -195,11 +214,11 @@ func optionsFromMeta(m checkpointMeta, configs, kernels, scheds []string) Option
 	return opts
 }
 
-// writeMergedCheckpoint writes records as a single unsharded checkpoint:
-// the shared meta with shard 0/1, then every record in canonical grid
-// order — exactly the file a single-process Workers=1 checkpointed Run
-// would have produced.
-func writeMergedCheckpoint(path string, meta checkpointMeta, records []Record) error {
+// WriteCheckpoint writes records as a single unsharded checkpoint file:
+// the given meta with shard 0/1, then every record in the order given
+// (canonical grid order for Merge and the campaign service) — exactly the
+// file a single-process Workers=1 checkpointed Run would have produced.
+func WriteCheckpoint(path string, meta Meta, records []Record) error {
 	meta.ShardIndex = 0
 	meta.ShardCount = 1
 	f, err := os.Create(path)

@@ -264,7 +264,7 @@ func shardFixture(t *testing.T, dir string) (Options, []string) {
 		opts.ShardIndex = s
 		opts.ShardCount = 2
 		paths[s] = filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", s))
-		writeShardFile(t, paths[s], metaFor(opts), shardRecords(opts, s))
+		writeShardFile(t, paths[s], MetaFor(opts), shardRecords(opts, s))
 	}
 	return opts, paths
 }
@@ -291,7 +291,7 @@ func shardRecords(opts Options, shard int) []Record {
 	return recs
 }
 
-func writeShardFile(t *testing.T, path string, meta checkpointMeta, recs []Record) {
+func writeShardFile(t *testing.T, path string, meta Meta, recs []Record) {
 	t.Helper()
 	var buf bytes.Buffer
 	buf.Write(append(mustJSON(t, meta), '\n'))
@@ -341,7 +341,7 @@ func TestMergeErrorPaths(t *testing.T) {
 	foreign.ShardIndex = 1
 	foreign.ShardCount = 2
 	foreignPath := filepath.Join(dir, "foreign.jsonl")
-	writeShardFile(t, foreignPath, metaFor(foreign), shardRecords(foreign, 1))
+	writeShardFile(t, foreignPath, MetaFor(foreign), shardRecords(foreign, 1))
 	check("mismatched meta", "meta mismatch", paths[0], foreignPath)
 
 	// Mixed-sched shard set: shard 1 swept a different scheduler axis. This
@@ -352,12 +352,12 @@ func TestMergeErrorPaths(t *testing.T) {
 	mixed.ShardIndex = 1
 	mixed.ShardCount = 2
 	mixedPath := filepath.Join(dir, "mixedsched.jsonl")
-	writeShardFile(t, mixedPath, metaFor(mixed), shardRecords(mixed, 1))
+	writeShardFile(t, mixedPath, MetaFor(mixed), shardRecords(mixed, 1))
 	check("mixed-sched shard set", "mixed-sched shard set", paths[0], mixedPath)
 
 	// A v2 shard file (pre-sched-axis): refused by the checkpoint reader
 	// with the version diagnostic, before any merge validation runs.
-	v2Meta := metaFor(opts)
+	v2Meta := MetaFor(opts)
 	v2Meta.Version = 2
 	v2Meta.Scheds = ""
 	v2Path := filepath.Join(dir, "v2.jsonl")
@@ -380,7 +380,7 @@ func TestMergeErrorPaths(t *testing.T) {
 	misplaced.ShardIndex = 1
 	misplaced.ShardCount = 2
 	misplacedPath := filepath.Join(dir, "misplaced.jsonl")
-	writeShardFile(t, misplacedPath, metaFor(misplaced), shardRecords(opts, 0))
+	writeShardFile(t, misplacedPath, MetaFor(misplaced), shardRecords(opts, 0))
 	check("misplaced record", "belongs to shard", paths[0], misplacedPath)
 
 	// A record outside the campaign grid.
@@ -392,7 +392,7 @@ func TestMergeErrorPaths(t *testing.T) {
 		Kernel: "vecadd", Mapper: "ours", Sched: "rr", Cycles: 1,
 	})
 	alienPath := filepath.Join(dir, "alien.jsonl")
-	writeShardFile(t, alienPath, metaFor(alien), alienRecs)
+	writeShardFile(t, alienPath, MetaFor(alien), alienRecs)
 	check("record outside grid", "not in the campaign grid", paths[0], alienPath)
 
 	// An incomplete shard: all shard files present but one task missing.
@@ -400,7 +400,7 @@ func TestMergeErrorPaths(t *testing.T) {
 	partial.ShardIndex = 1
 	partial.ShardCount = 2
 	partialPath := filepath.Join(dir, "partial.jsonl")
-	writeShardFile(t, partialPath, metaFor(partial), shardRecords(opts, 1)[:2])
+	writeShardFile(t, partialPath, MetaFor(partial), shardRecords(opts, 1)[:2])
 	check("incomplete shard", "grid not covered", paths[0], partialPath)
 
 	// A missing file is a plain I/O error, not a panic.
@@ -408,7 +408,7 @@ func TestMergeErrorPaths(t *testing.T) {
 
 	// A meta whose grid aliases two tasks onto one key (only possible in a
 	// hand-edited file; Run refuses to write one).
-	dupMeta := metaFor(opts)
+	dupMeta := MetaFor(opts)
 	dupMeta.ShardIndex = 0
 	dupMeta.ShardCount = 1
 	dupMeta.Configs = "1c2w2t,1c2w2t"

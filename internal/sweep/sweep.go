@@ -155,7 +155,7 @@ func (o *Options) fill() {
 	if len(o.Scheds) == 0 {
 		o.Scheds = []sim.SchedPolicy{sim.SchedRoundRobin}
 	}
-	if o.Scale <= 0 {
+	if o.Scale == 0 {
 		o.Scale = 1
 	}
 	if o.Workers <= 0 {
@@ -173,6 +173,37 @@ func (o *Options) fill() {
 	if o.ShardCount < 1 {
 		o.ShardCount = 1
 	}
+}
+
+// Normalized returns o with every default applied — the exact option set a
+// Run of o executes. The campaign service normalizes once so its stored
+// options, meta and task grid all describe the same campaign.
+func (o Options) Normalized() Options {
+	o.fill()
+	return o
+}
+
+// validate refuses option values no campaign can run correctly, after
+// fill() has applied defaults. Unlike the duplicate-axis check — which only
+// guards keyed runs, because a plain in-memory run of a duplicated config
+// is harmless and deliberate — these hold on every path, including the
+// campaign service, whose task handouts are always keyed.
+func (o *Options) validate() error {
+	if o.Scale < 0 {
+		return fmt.Errorf("sweep: scale must be positive (got %v)", o.Scale)
+	}
+	seen := map[sim.SchedPolicy]bool{}
+	for _, p := range o.Scheds {
+		if seen[p] {
+			// A repeated scheduler can never mean anything but the same
+			// records twice under aliased task keys, so it is refused even
+			// on plain runs (duplicate configs, by contrast, stay legal
+			// there).
+			return fmt.Errorf("sweep: duplicate scheduler %s on the sched axis", p)
+		}
+		seen[p] = true
+	}
+	return nil
 }
 
 // duplicateAxisEntry returns the name of the first repeated entry on any
@@ -199,6 +230,68 @@ func duplicateAxisEntry(opts Options) string {
 		}
 	}
 	return ""
+}
+
+// Task is one cell of the canonical campaign grid: the (config, kernel,
+// mapper, sched) tuple a single simulation runs, plus its canonical grid
+// index. The campaign service hands out tasks by index; both sides
+// enumerate the same grid (validated by Meta equality), so indices — not
+// mapper objects, which do not serialize — cross the wire.
+type Task struct {
+	Index  int // position in the canonical grid (config-major, sched innermost)
+	Config core.HWInfo
+	Kernel string
+	Mapper core.Mapper
+	Sched  sim.SchedPolicy
+}
+
+// Key is the task's identity string; it matches Record.Key for the record
+// the task produces.
+func (t Task) Key() string {
+	return taskKey(t.Config.Name(), t.Kernel, t.Mapper.Name(), t.Sched.String())
+}
+
+// enumerateTasks lists the canonical task grid of filled options, in
+// canonical order: config-major, then kernel, mapper, and the scheduler
+// axis innermost. Every keyed consumer (Run's shard slice, Merge's grid
+// reconstruction, the campaign service) must agree with this order.
+func enumerateTasks(opts Options) []Task {
+	out := make([]Task, 0, len(opts.Configs)*len(opts.Kernels)*len(opts.Mappers)*len(opts.Scheds))
+	for _, hw := range opts.Configs {
+		for _, kname := range opts.Kernels {
+			for _, m := range opts.Mappers {
+				for _, sched := range opts.Scheds {
+					out = append(out, Task{Index: len(out), Config: hw, Kernel: kname, Mapper: m, Sched: sched})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TaskGrid returns the canonical task grid of a campaign after defaulting
+// and validating opts. Task keys must be unique — grids whose axes repeat
+// an entry are refused, exactly as Run refuses them when sharding or
+// checkpointing — so the grid index and the task key name the same cell.
+func TaskGrid(opts Options) ([]Task, error) {
+	opts.fill()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if dup := duplicateAxisEntry(opts); dup != "" {
+		return nil, fmt.Errorf("sweep: duplicate grid entry %s: task handout requires unique task keys", dup)
+	}
+	return enumerateTasks(opts), nil
+}
+
+// RunTask executes one task of the campaign through the shared device-pool
+// and cache substrate, exactly as Run would: the record it returns is
+// byte-identical to the one a single-process Run of the same options
+// produces for that grid cell. Failures come back in Record.Err, never as
+// a panic, so a fleet worker survives any single task.
+func RunTask(opts Options, pool *ocl.DevicePool, t Task) Record {
+	opts.fill()
+	return runOne(opts, pool, t.Config, t.Kernel, t.Mapper, t.Sched)
 }
 
 // Record is one (config, kernel, mapper, sched) simulation outcome.
@@ -253,6 +346,9 @@ type Results struct {
 // resulting Records are byte-identical to an uninterrupted run.
 func Run(opts Options) (*Results, error) {
 	opts.fill()
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
 	if opts.ShardIndex < 0 || opts.ShardIndex >= opts.ShardCount {
 		return nil, fmt.Errorf("sweep: shard index %d out of range for %d shards", opts.ShardIndex, opts.ShardCount)
 	}
@@ -264,30 +360,19 @@ func Run(opts Options) (*Results, error) {
 			return nil, fmt.Errorf("sweep: duplicate grid entry %s: sharding/checkpointing requires unique task keys", dup)
 		}
 	}
-	type task struct {
-		idx    int
-		hw     core.HWInfo
-		kernel string
-		mapper core.Mapper
-		sched  sim.SchedPolicy
-	}
 	// tasks is this process's slice of the canonical grid: every ShardCount-th
 	// task starting at ShardIndex. Records (and the checkpoint) cover only
-	// this shard, in shard-local canonical order; Merge reassembles shards
-	// into full-grid order. The scheduler axis nests innermost, after the
-	// mapper.
-	var tasks []task
-	gridIdx := 0
-	for _, hw := range opts.Configs {
-		for _, kname := range opts.Kernels {
-			for _, m := range opts.Mappers {
-				for _, sched := range opts.Scheds {
-					if gridIdx%opts.ShardCount == opts.ShardIndex {
-						tasks = append(tasks, task{idx: len(tasks), hw: hw, kernel: kname, mapper: m, sched: sched})
-					}
-					gridIdx++
-				}
-			}
+	// this shard, in shard-local canonical order (slot), while Task.Index
+	// keeps the full-grid position; Merge reassembles shards into full-grid
+	// order. The scheduler axis nests innermost, after the mapper.
+	type shardTask struct {
+		slot int
+		Task
+	}
+	var tasks []shardTask
+	for _, t := range enumerateTasks(opts) {
+		if t.Index%opts.ShardCount == opts.ShardIndex {
+			tasks = append(tasks, shardTask{slot: len(tasks), Task: t})
 		}
 	}
 	records := make([]Record, len(tasks))
@@ -300,32 +385,22 @@ func Run(opts Options) (*Results, error) {
 		return nil, fmt.Errorf("sweep: checkpointing with a ConfigTemplate requires Options.ConfigTag")
 	}
 	if opts.Resume && opts.Checkpoint != "" {
-		meta, seen, err := readCheckpointFile(opts.Checkpoint)
+		seen, err := ResumeRecords(opts)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: resume: %w", err)
 		}
-		if meta == nil && len(seen) > 0 {
-			// Records without the meta header cannot be validated against
-			// this sweep's options; splicing them in could silently break
-			// the byte-identity contract.
-			return nil, fmt.Errorf("sweep: resume: checkpoint %s has records but no meta header", opts.Checkpoint)
-		}
-		if meta != nil && *meta != metaFor(opts) {
-			return nil, fmt.Errorf("sweep: resume: checkpoint %s was written with different sweep options (%+v)", opts.Checkpoint, *meta)
-		}
 		for i, tk := range tasks {
-			key := taskKey(tk.hw.Name(), tk.kernel, tk.mapper.Name(), tk.sched.String())
-			if rec, ok := seen[key]; ok {
+			if rec, ok := seen[tk.Key()]; ok {
 				records[i] = rec
 				skip[i] = true
 				resumed++
 			}
 		}
 	}
-	var ckpt *checkpointWriter
+	var ckpt *CheckpointWriter
 	if opts.Checkpoint != "" {
 		var err error
-		ckpt, err = openCheckpoint(opts.Checkpoint, opts.Resume, opts)
+		ckpt, err = OpenCheckpoint(opts.Checkpoint, opts.Resume, opts)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: checkpoint: %w", err)
 		}
@@ -336,7 +411,7 @@ func Run(opts Options) (*Results, error) {
 	inputBase := kernels.InputCacheStats()
 
 	var wg sync.WaitGroup
-	ch := make(chan task)
+	ch := make(chan shardTask)
 	var mu sync.Mutex
 	var sinkErr error
 	done := resumed
@@ -348,11 +423,11 @@ func Run(opts Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for tk := range ch {
-				rec := runOne(opts, pool, tk.hw, tk.kernel, tk.mapper, tk.sched)
-				records[tk.idx] = rec
+				rec := runOne(opts, pool, tk.Config, tk.Kernel, tk.Mapper, tk.Sched)
+				records[tk.slot] = rec
 				mu.Lock()
 				if ckpt != nil && rec.Err == "" {
-					if err := ckpt.append(rec); err != nil && sinkErr == nil {
+					if err := ckpt.Append(rec); err != nil && sinkErr == nil {
 						sinkErr = err
 					}
 				}

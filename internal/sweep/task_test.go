@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ocl"
+	"repro/internal/sim"
+)
+
+// TestRunRejectsDuplicateScheds pins the sched-axis uniqueness rule:
+// unlike a duplicated config (legal on a plain in-memory run, see
+// TestRunRejectsDuplicateGridWhenKeyed), a duplicated scheduler is refused
+// unconditionally — it can only be a typo, and it would silently double
+// every per-sched aggregate.
+func TestRunRejectsDuplicateScheds(t *testing.T) {
+	dup := campaignOpts()
+	dup.Scheds = []sim.SchedPolicy{sim.SchedRoundRobin, sim.SchedGTO, sim.SchedRoundRobin}
+	if _, err := Run(dup); err == nil || !strings.Contains(err.Error(), "duplicate scheduler") {
+		t.Errorf("plain duplicate-sched run: err = %v", err)
+	}
+	if _, err := TaskGrid(dup); err == nil || !strings.Contains(err.Error(), "duplicate scheduler") {
+		t.Errorf("duplicate-sched task grid: err = %v", err)
+	}
+}
+
+// TestMergeRejectsDuplicateScheds pins the merge-side mirror of the rule:
+// a checkpoint whose meta carries a repeated sched axis entry (only
+// possible hand-edited; Run refuses to write one) is refused with a
+// sched-specific diagnostic.
+func TestMergeRejectsDuplicateScheds(t *testing.T) {
+	opts := campaignOpts()
+	meta := MetaFor(opts)
+	meta.Scheds = "rr,rr"
+	path := filepath.Join(t.TempDir(), "dupsched.jsonl")
+	writeShardFile(t, path, meta, nil)
+	if _, err := Merge("", []string{path}); err == nil || !strings.Contains(err.Error(), "duplicate scheduler") {
+		t.Errorf("merge with duplicate sched axis: err = %v", err)
+	}
+}
+
+// TestRunRejectsNegativeScale pins scale validation: zero still means
+// "default to full scale" (the long-standing fill rule), negative is a
+// refused request.
+func TestRunRejectsNegativeScale(t *testing.T) {
+	bad := campaignOpts()
+	bad.Scale = -0.5
+	if _, err := Run(bad); err == nil || !strings.Contains(err.Error(), "scale must be positive") {
+		t.Errorf("negative scale: err = %v", err)
+	}
+	if got := (Options{}).Normalized().Scale; got != 1 {
+		t.Errorf("zero scale normalized to %v, want 1", got)
+	}
+}
+
+// TestTaskGridMatchesRunOrder pins the contract the campaign service
+// depends on: TaskGrid enumerates exactly the records Run produces, in
+// the same canonical order, with Index as the position — so tasks can
+// cross the wire as bare grid indices.
+func TestTaskGridMatchesRunOrder(t *testing.T) {
+	opts := campaignOpts()
+	grid, err := TaskGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(res.Records) {
+		t.Fatalf("grid has %d tasks, run produced %d records", len(grid), len(res.Records))
+	}
+	for i, task := range grid {
+		if task.Index != i {
+			t.Fatalf("grid[%d].Index = %d", i, task.Index)
+		}
+		if task.Key() != res.Records[i].Key() {
+			t.Fatalf("grid[%d] = %s, record %d = %s", i, task.Key(), i, res.Records[i].Key())
+		}
+	}
+
+	// And a single task replayed through RunTask reproduces the record Run
+	// made for that cell, byte for byte.
+	pool := ocl.NewDevicePool(1)
+	rec := RunTask(opts, pool, grid[1])
+	want, _ := json.Marshal(res.Records[1])
+	got, _ := json.Marshal(rec)
+	if string(want) != string(got) {
+		t.Errorf("RunTask record = %s, want %s", got, want)
+	}
+}
