@@ -472,6 +472,100 @@ func benchHighWarp(b *testing.B, scan bool) {
 	b.ReportMetric(float64(s.Cycle()-warmCycles)/float64(b.N), "device_cycles")
 }
 
+// BenchmarkUniformWarpBatch measures uniform-warp batched execution in its
+// target regime: 32 warps per core marching in perfect lockstep through a
+// compute-only loop (no memory stalls to stagger them), so nearly every
+// batchable issue leads or rides a full-width cohort and the per-warp
+// dispatch switches collapse into one fused warps x lanes kernel per
+// cohort. BenchmarkUniformWarpUnbatched runs the identical workload on the
+// per-warp oracle (Config.BatchExec=false), so the pair quantifies the
+// dispatch overhead batching removed. Simulated results are byte-identical
+// — both report device_cycles, which the deterministic CI gate holds at
+// zero drift.
+func BenchmarkUniformWarpBatch(b *testing.B)     { benchUniformWarp(b, true) }
+func BenchmarkUniformWarpUnbatched(b *testing.B) { benchUniformWarp(b, false) }
+
+func benchUniformWarp(b *testing.B, batch bool) {
+	b.Helper()
+	cfg := sim.DefaultConfig(1, 32, 8)
+	cfg.Workers = 1
+	cfg.BatchExec = batch
+	// Lane values differ (tid-seeded) but control flow is warp-uniform and
+	// the loop never touches memory, so the 32 warps stay at the same pc
+	// for the whole run. In-warp dependencies are ~32 issue slots stale by
+	// the time the warp's turn comes round again, so no scoreboard stall
+	// ever breaks a cohort. The body is the lockstep index/address
+	// arithmetic that dominates the paper kernels' uniform phases — the op
+	// mix where the per-warp path's cost is almost entirely dispatch
+	// (execute's prologue plus a per-lane intALU/intALUImm call per op)
+	// and the fused cohort kernels collapse it to one dedicated loop per
+	// cohort. A token FP pair keeps the float pipelines in the cohort path;
+	// the warp-uniform bnez is the only per-warp fallback.
+	prog := `
+		csrr t0, wid
+		slli t0, t0, 4
+		csrr t1, tid
+		add  t0, t0, t1
+		fcvt.s.w f0, t0
+		li   t1, 256
+		li   t2, 0
+		li   t3, 3
+	loop:
+		add  t2, t2, t0
+		xor  t4, t2, t3
+		slli t5, t4, 2
+		mul  t6, t2, t3
+		and  a0, t4, t2
+		or   a1, a0, t5
+		sub  a2, a1, t2
+		addi a3, a2, 17
+		srli a4, a2, 3
+		ori  a5, a4, 9
+		andi a6, a5, 255
+		sltu a7, a6, t2
+		fadd.s f1, f0, f0
+		fmul.s f2, f1, f0
+		addi t1, t1, -1
+		bnez t1, loop
+		ecall
+	`
+	p := asm.MustAssemble(prog, 0x1000, nil)
+	memory := mem.NewMemory(1 << 20)
+	hier, err := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(cfg, memory, hier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func() {
+		for w := 0; w < cfg.Warps; w++ {
+			if err := s.ActivateWarp(0, w, 0x1000, 0xFF); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runOnce() // warm up: first activation allocates the register files
+	warmCycles := s.Cycle()
+	warmIssued := s.TotalStats().Issued
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce()
+	}
+	b.StopTimer()
+	issued := s.TotalStats().Issued - warmIssued
+	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
+	b.ReportMetric(float64(s.Cycle()-warmCycles)/float64(b.N), "device_cycles")
+}
+
 // BenchmarkManyCoreIdle pins the payoff of the event-driven device engine:
 // a 16c8w8t device in the DRAM-bound many-core-idle regime (GCNAggr/KNN
 // shaped: short bursts of address arithmetic between long irregular-access

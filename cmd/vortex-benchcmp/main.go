@@ -1,7 +1,9 @@
 // Command vortex-benchcmp is the CI benchmark regression gate: it compares
 // a freshly measured scripts/bench.sh JSON report against the checked-in
-// baseline (BENCH_baseline.json) and fails when any benchmark's median
-// wall-clock regresses beyond the threshold.
+// baseline (BENCH_baseline.json) and fails when any benchmark's median for
+// the selected metric — wall-clock ns/op by default, or any other column
+// via -metric (allocations, simulated device cycles, ...) — regresses
+// beyond the threshold.
 //
 // Usage:
 //

@@ -7,7 +7,7 @@
 //
 //	vortex-run [-config 4c8w16t] [-kernel sgemm] [-lws 0] [-scale 1.0]
 //	           [-mapper ours|lws=1|lws=32] [-sched rr|gto|oldest|2lev]
-//	           [-seed 42] [-compare] [-tick-engine]
+//	           [-seed 42] [-compare] [-tick-engine] [-batch-exec=false]
 package main
 
 import (
@@ -33,6 +33,7 @@ func main() {
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	sched := flag.String("sched", "rr", "warp scheduler policy: rr, gto, oldest or 2lev")
 	tickEngine := flag.Bool("tick-engine", false, "use the legacy per-cycle tick loop instead of the event-driven device engine (identical results, differential oracle)")
+	batchExec := flag.Bool("batch-exec", true, "execute lockstep warp cohorts with fused batched kernels; false selects the per-warp oracle path (identical results)")
 	cacheStats := flag.Bool("cache-stats", false, "print the campaign-engine cache counters (program cache, input memo) after the run")
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
 	}
-	dev := devOpts{workers: *workers, commitWorkers: *commitWorkers, sched: schedPol, tickEngine: *tickEngine}
+	dev := devOpts{workers: *workers, commitWorkers: *commitWorkers, sched: schedPol, tickEngine: *tickEngine, batchExec: *batchExec}
 	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, dev); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
@@ -67,13 +68,14 @@ func mapperByName(name string) (core.Mapper, error) {
 }
 
 // devOpts bundles the engine knobs forwarded to every device built by this
-// command: host parallelism, commit sharding, the warp scheduler policy and
-// the tick-engine fallback.
+// command: host parallelism, commit sharding, the warp scheduler policy,
+// the tick-engine fallback and the batched-execution toggle.
 type devOpts struct {
 	workers       int
 	commitWorkers int
 	sched         sim.SchedPolicy
 	tickEngine    bool
+	batchExec     bool
 }
 
 // deviceConfig builds the simulator config for hw; workers > 0 overrides
@@ -91,6 +93,7 @@ func deviceConfig(hw core.HWInfo, dev devOpts) sim.Config {
 	}
 	cfg.Sched = dev.sched
 	cfg.TickEngine = dev.tickEngine
+	cfg.BatchExec = dev.batchExec
 	return cfg
 }
 

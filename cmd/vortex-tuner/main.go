@@ -10,6 +10,7 @@
 //	vortex-tuner [-config 2c4w8t] [-kernel saxpy] [-scale 0.5]
 //	             [-strategy exhaustive|hillclimb]
 //	             [-sched rr|gto|oldest|2lev|all] [-seed 42] [-tick-engine]
+//	             [-batch-exec=false]
 package main
 
 import (
@@ -34,15 +35,16 @@ func main() {
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel per probe (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	tickEngine := flag.Bool("tick-engine", false, "probe on the legacy per-cycle tick loop instead of the event-driven device engine (identical results, differential oracle)")
+	batchExec := flag.Bool("batch-exec", true, "execute lockstep warp cohorts with fused batched kernels; false selects the per-warp oracle path (identical results)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *seed, *workers, *commitWorkers, *tickEngine); err != nil {
+	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *seed, *workers, *commitWorkers, *tickEngine, *batchExec); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-tuner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgName, kernel string, scale float64, strategy, schedName string, seed int64, workers, commitWorkers int, tickEngine bool) error {
+func run(cfgName, kernel string, scale float64, strategy, schedName string, seed int64, workers, commitWorkers int, tickEngine, batchExec bool) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -61,6 +63,7 @@ func run(cfgName, kernel string, scale float64, strategy, schedName string, seed
 		}
 		cfg.Sched = sched
 		cfg.TickEngine = tickEngine
+		cfg.BatchExec = batchExec
 		return cfg
 	}
 

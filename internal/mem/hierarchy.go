@@ -416,24 +416,49 @@ func (h *Hierarchy) Reset() {
 
 // Coalesce merges the active lanes' byte addresses into unique line
 // requests, preserving first-touch order. mask selects active lanes; out is
-// an optional reusable buffer.
+// an optional reusable buffer (no allocation when its capacity suffices).
+//
+// Dedup runs in O(lanes) for the shapes kernels actually produce: a 64-line
+// window anchored near the first active lane's line is tracked in a bitmap,
+// which covers any unit-stride or moderately strided warp access (<=64
+// lanes touching lines within +/-32 of the anchor). Lines falling outside
+// the window — pathologically scattered warps — fall back to a linear scan
+// of the emitted lines, which is the old O(n^2) behaviour at worst. A line
+// is in or out of the window independently of visit order, so the emitted
+// sequence is identical to the naive scan's.
 func Coalesce(addrs []uint32, mask uint64, lineShift uint, out []uint32) []uint32 {
 	out = out[:0]
+	var base uint32 // window anchor (line index); valid once haveBase
+	var seenWin uint64
+	haveBase := false
 	for i, a := range addrs {
 		if mask&(1<<uint(i)) == 0 {
 			continue
 		}
-		line := a >> lineShift << lineShift
-		seen := false
-		for _, o := range out {
-			if o == line {
-				seen = true
-				break
+		idx := a >> lineShift
+		if !haveBase {
+			base, haveBase = idx-32, true
+		}
+		if d := idx - base; d < 64 { // unsigned: lines below the window wrap past 64
+			bit := uint64(1) << d
+			if seenWin&bit != 0 {
+				continue
+			}
+			seenWin |= bit
+		} else {
+			line := idx << lineShift
+			seen := false
+			for _, o := range out {
+				if o == line {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
 			}
 		}
-		if !seen {
-			out = append(out, line)
-		}
+		out = append(out, idx<<lineShift)
 	}
 	return out
 }

@@ -125,7 +125,9 @@ func (m *Memory) WriteBytes(addr uint32, b []byte) error {
 	return nil
 }
 
-// ReadBytes copies n bytes starting at addr into a fresh slice.
+// ReadBytes copies n bytes starting at addr into a fresh slice. Hot
+// callers that read repeatedly should use ReadBytesInto with a reused
+// buffer instead.
 func (m *Memory) ReadBytes(addr, n uint32) ([]byte, error) {
 	if !m.InBounds(addr, n) {
 		return nil, fmt.Errorf("mem: read of %d bytes at %#x out of bounds (size %#x)", n, addr, m.Size())
@@ -133,4 +135,14 @@ func (m *Memory) ReadBytes(addr, n uint32) ([]byte, error) {
 	out := make([]byte, n)
 	copy(out, m.data[addr:])
 	return out, nil
+}
+
+// ReadBytesInto copies len(dst) bytes starting at addr into dst, the
+// allocation-free variant of ReadBytes for caller-pooled buffers.
+func (m *Memory) ReadBytesInto(dst []byte, addr uint32) error {
+	if !m.InBounds(addr, uint32(len(dst))) {
+		return fmt.Errorf("mem: read of %d bytes at %#x out of bounds (size %#x)", len(dst), addr, m.Size())
+	}
+	copy(dst, m.data[addr:])
+	return nil
 }

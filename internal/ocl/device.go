@@ -46,6 +46,23 @@ type Device struct {
 	allocTop    uint32
 	currentProg *asm.Program // program of the launch in flight (for tagging)
 	observer    func(sim.IssueEvent)
+
+	// scratch is the pooled byte staging buffer for buffer uploads and
+	// readbacks (Write*/Read*). Verify-heavy campaigns read every output
+	// buffer back per run; pooling the staging bytes keeps that traffic off
+	// the allocator (held by the B_per_op bench gate). A Device serves one
+	// host caller at a time (the device pool hands it out exclusively), so
+	// a single buffer is safe.
+	scratch []byte
+}
+
+// scratchBytes returns the pooled staging buffer grown to n bytes. The
+// contents are unspecified; every caller fully overwrites them.
+func (d *Device) scratchBytes(n int) []byte {
+	if cap(d.scratch) < n {
+		d.scratch = make([]byte, n)
+	}
+	return d.scratch[:n]
 }
 
 // NewDevice builds a device for the given configuration.
@@ -139,7 +156,7 @@ func (d *Device) WriteFloat32(b Buffer, data []float32) error {
 	if uint32(len(data))*4 > b.size {
 		return fmt.Errorf("ocl: write of %d floats exceeds buffer size %d", len(data), b.size)
 	}
-	raw := make([]byte, len(data)*4)
+	raw := d.scratchBytes(len(data) * 4)
 	for i, v := range data {
 		binary.LittleEndian.PutUint32(raw[i*4:], math.Float32bits(v))
 	}
@@ -151,8 +168,8 @@ func (d *Device) ReadFloat32(b Buffer, n int) ([]float32, error) {
 	if uint32(n)*4 > b.size {
 		return nil, fmt.Errorf("ocl: read of %d floats exceeds buffer size %d", n, b.size)
 	}
-	raw, err := d.memory.ReadBytes(b.addr, uint32(n)*4)
-	if err != nil {
+	raw := d.scratchBytes(n * 4)
+	if err := d.memory.ReadBytesInto(raw, b.addr); err != nil {
 		return nil, err
 	}
 	out := make([]float32, n)
@@ -167,7 +184,7 @@ func (d *Device) WriteUint32(b Buffer, data []uint32) error {
 	if uint32(len(data))*4 > b.size {
 		return fmt.Errorf("ocl: write of %d words exceeds buffer size %d", len(data), b.size)
 	}
-	raw := make([]byte, len(data)*4)
+	raw := d.scratchBytes(len(data) * 4)
 	for i, v := range data {
 		binary.LittleEndian.PutUint32(raw[i*4:], v)
 	}
@@ -179,8 +196,8 @@ func (d *Device) ReadUint32(b Buffer, n int) ([]uint32, error) {
 	if uint32(n)*4 > b.size {
 		return nil, fmt.Errorf("ocl: read of %d words exceeds buffer size %d", n, b.size)
 	}
-	raw, err := d.memory.ReadBytes(b.addr, uint32(n)*4)
-	if err != nil {
+	raw := d.scratchBytes(n * 4)
+	if err := d.memory.ReadBytesInto(raw, b.addr); err != nil {
 		return nil, err
 	}
 	out := make([]uint32, n)

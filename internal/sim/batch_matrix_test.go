@@ -1,0 +1,60 @@
+package sim_test
+
+// Kernel-level half of the batched-execution differential harness: registry
+// kernels, run end-to-end through the OpenCL-style runtime, across the
+// batch x engine x workers matrix. Uniform-warp batched execution (the
+// default) must produce byte-identical launch reports — including the
+// MemStall/ExecStall/IdleAfterEnd attribution — and memory-system state to
+// the per-warp oracle retained behind Config.BatchExec=false, on both
+// engines and both runners. The CI race-detector step runs this file, so
+// cohort pre-execution is also race-checked under the parallel engine.
+//
+// internal/sim/batch_test.go pins the same property at the bare-simulator
+// level (all four policies, traps, the observer stream, cohort edge cases);
+// internal/sweep pins it at sweep-record level.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+func runBatchKernel(t *testing.T, name string, batch, tick bool, workers int) kernelRun {
+	t.Helper()
+	cfg := sim.DefaultConfig(4, 8, 8)
+	cfg.BatchExec = batch
+	cfg.TickEngine = tick
+	cfg.Workers = workers
+	cfg.CommitWorkers = workers
+	return runMatrixKernelCfg(t, name, cfg, fmt.Sprintf("batch=%v tick=%v workers=%d", batch, tick, workers))
+}
+
+// batchMatrixKernels get the full engine x workers matrix against the
+// per-warp oracle; every other registry kernel runs the oracle-critical
+// unbatched-seq vs batched-seq/par cells only (same bounded-cost convention
+// as the engine matrix).
+var batchMatrixKernels = map[string]bool{"vecadd": true, "relu": true, "saxpy": true}
+
+func TestBatchKernelMatrix(t *testing.T) {
+	for _, name := range kernels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && !batchMatrixKernels[name] {
+				t.Skip("short mode: batch matrix runs the cheap kernels only")
+			}
+			oracle := runBatchKernel(t, name, false, false, 1)
+			batchSeq := runBatchKernel(t, name, true, false, 1)
+			batchPar := runBatchKernel(t, name, true, false, 4)
+			diffKernelRuns(t, name+"/unbatched-vs-batched-seq", oracle, batchSeq)
+			diffKernelRuns(t, name+"/unbatched-vs-batched-par", oracle, batchPar)
+			if batchMatrixKernels[name] {
+				batchTickSeq := runBatchKernel(t, name, true, true, 1)
+				batchTickPar := runBatchKernel(t, name, true, true, 4)
+				diffKernelRuns(t, name+"/unbatched-vs-batched-tick-seq", oracle, batchTickSeq)
+				diffKernelRuns(t, name+"/unbatched-vs-batched-tick-par", oracle, batchTickPar)
+			}
+		})
+	}
+}

@@ -116,6 +116,18 @@ type Config struct {
 	// ScanSched, and both the sequential and parallel engines.
 	TickEngine bool
 
+	// BatchExec enables uniform-warp batched execution (exec_batch.go): the
+	// heap scheduler engine detects cohorts of ready warps in lockstep —
+	// same pc, identical thread mask, same pre-decoded compute instruction,
+	// no scoreboard hazard — and executes the instruction functionally once
+	// over the whole cohort with a fused warps x lanes kernel, replaying
+	// each member's issue bookkeeping at its true issue slot. Every
+	// simulated observable stays byte-identical to the per-warp path, which
+	// is retained as the differential-test oracle (BatchExec=false; see
+	// internal/sim/README.md). DefaultConfig enables it. Inert under
+	// ScanSched: the legacy scan oracle always executes warp by warp.
+	BatchExec bool
+
 	// LSUPorts is the number of cache-line requests the load-store unit
 	// can issue per cycle (the banked L1 of Vortex services lanes hitting
 	// distinct banks in parallel). Uncoalesced warp accesses occupy the
@@ -154,14 +166,15 @@ func DefaultConfig(cores, warps, threads int) Config {
 	// artificially bandwidth-starved.
 	m.DRAM.Channels = cores
 	return Config{
-		Cores:    cores,
-		Warps:    warps,
-		Threads:  threads,
-		Mem:      m,
-		Lat:      DefaultLatencies(),
-		Sched:    SchedRoundRobin,
-		LSUPorts: 8,
-		Workers:  runtime.NumCPU(),
+		Cores:     cores,
+		Warps:     warps,
+		Threads:   threads,
+		Mem:       m,
+		Lat:       DefaultLatencies(),
+		Sched:     SchedRoundRobin,
+		LSUPorts:  8,
+		Workers:   runtime.NumCPU(),
+		BatchExec: true,
 	}
 }
 

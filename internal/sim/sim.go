@@ -64,7 +64,27 @@ type warp struct {
 	wakeMem   bool   // decoded instruction is a memory op (LSU hazard applies)
 	wakePC    uint32 // pc the cache was computed for (safety cross-check)
 	wake      uint64 // earliest cycle the registers are ready
+
+	// Batched-execution state (exec_batch.go): the instruction at batchPC
+	// was already executed functionally as part of a uniform-warp cohort;
+	// when the scheduler picks this warp at that pc, finishBatched replays
+	// the per-warp issue bookkeeping instead of re-executing. batchDst and
+	// batchLat carry the instruction's writeback class and latency,
+	// computed once per cohort so the replay skips the opcode switches.
+	// Cleared at issue and on warp reset.
+	batched  bool
+	batchDst uint8 // batchDstNone/Int/FP: which scoreboard the replay writes
+	batchRd  uint8 // destination register of the pre-executed instruction
+	batchPC  uint32
+	batchLat uint32 // completion latency added to the replay's issue cycle
 }
+
+// Writeback classes for warp.batchDst.
+const (
+	batchDstNone = uint8(iota) // no register write (rd == x0)
+	batchDstInt                // pendI[rd]
+	batchDstFP                 // pendF[rd]
+)
 
 type barrier struct {
 	arrived int
@@ -129,10 +149,12 @@ type simCore struct {
 	stallFrom uint64
 	stats     CoreStats
 
-	// Per-core scratch for the coalescing path, preallocated so the issue
-	// path never allocates and cores can execute concurrently.
+	// Per-core scratch for the coalescing path and the batched-execution
+	// cohort span, preallocated so the issue path never allocates and cores
+	// can execute concurrently.
 	addrBuf [64]uint32
 	lineBuf []uint32
+	cohort  []*warp
 	md      memDefer
 }
 
@@ -157,6 +179,7 @@ type Sim struct {
 	fullMask uint64
 	maxFU    uint64 // cached Lat.max(): the longest FU latency, for stall attribution
 	par      bool   // a parallel run is in flight: defer shared-memory timing
+	batch    bool   // cached cfg.BatchExec && !cfg.ScanSched (the scan oracle is always per-warp)
 
 	// Sharded-commit scratch (parallel engine), reused across cycles: the
 	// cores with deferred memory work this cycle, the per-bank DRAM op
@@ -189,11 +212,15 @@ func New(cfg Config, memory *mem.Memory, hier *mem.Hierarchy) (*Sim, error) {
 		sched:    newScheduler(cfg.Sched),
 		fullMask: fullMask(cfg.Threads),
 		maxFU:    uint64(cfg.Lat.max()),
+		batch:    cfg.BatchExec && !cfg.ScanSched,
 	}
 	for i := range s.cores {
 		s.cores[i].id = i
 		s.cores[i].warps = make([]warp, cfg.Warps)
 		s.cores[i].lineBuf = make([]uint32, 0, 64)
+		// A cohort spans at most the core's warps, so the preallocation
+		// keeps cohort detection allocation-free.
+		s.cores[i].cohort = make([]*warp, 0, cfg.Warps)
 		// Each warp holds at most one heap entry, so the preallocation
 		// keeps the issue path allocation-free.
 		s.cores[i].wakeHeap = make([]wakeEntry, 0, cfg.Warps)
@@ -236,6 +263,7 @@ const (
 	mWritesI
 	mWritesF
 	mIsMem
+	mBatch // pure compute, eligible for uniform-warp cohort execution
 )
 
 func metaOf(in isa.Inst) instMeta {
@@ -263,6 +291,9 @@ func metaOf(in isa.Inst) instMeta {
 	}
 	if in.IsMem() {
 		m |= mIsMem
+	}
+	if batchable(in.Op) {
+		m |= mBatch
 	}
 	return m
 }
@@ -317,6 +348,7 @@ func (s *Sim) Reset() {
 			w.active = false
 			w.barWait = false
 			w.wakeValid = false
+			w.batched = false
 			w.last = 0
 		}
 	}
@@ -362,6 +394,7 @@ func (s *Sim) resetWarp(w *warp, pc uint32, tmask uint64) {
 	w.active = true
 	w.barWait = false
 	w.wakeValid = false
+	w.batched = false
 	// Clear the issue timestamp so oldest-first gives fresh warps top
 	// priority instead of inheriting a previous launch's (or a previous
 	// incarnation's) history. rr/gto never read it.

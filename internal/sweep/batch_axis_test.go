@@ -1,0 +1,33 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Sweep-level half of the batched-execution differential harness: a
+// campaign whose devices run the per-warp oracle path
+// (Options.NoBatchExec -> sim.Config.BatchExec=false) must produce records
+// byte-identical to the default batched campaign, across the geometry,
+// kernel, mapper and scheduler axes. internal/sim pins the same property
+// at the bare-simulator and kernel-registry levels.
+func TestSweepBatchExecRecordIdentity(t *testing.T) {
+	batched, err := Run(schedCampaignOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := schedCampaignOpts()
+	opts.NoBatchExec = true
+	oracle, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, batched.Records), mustJSON(t, oracle.Records)) {
+		for i := range batched.Records {
+			if !bytes.Equal(mustJSON(t, batched.Records[i]), mustJSON(t, oracle.Records[i])) {
+				t.Errorf("record %d differs:\nbatched   %+v\nunbatched %+v", i, batched.Records[i], oracle.Records[i])
+			}
+		}
+		t.Fatal("batched sweep records not byte-identical to the per-warp oracle")
+	}
+}
