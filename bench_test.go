@@ -740,3 +740,87 @@ func BenchmarkSweepCached(b *testing.B) {
 		benchCampaign(b)
 	}
 }
+
+// BenchmarkMSHRBound4 measures the simulator on a DRAM-bound streaming
+// workload with 4 MSHRs per L1 and per L2 bank: every core's warps stream
+// dependent loads over a footprint that defeats the L2, so the
+// outstanding-miss bound is the binding constraint and the issue path runs
+// through the MSHR gate (and its lower-bound wake re-checks) on nearly
+// every memory instruction. BenchmarkMSHRUnbounded runs the identical
+// workload on the pre-axis unbounded model, so the pair quantifies both
+// the host-side cost of the gate and the simulated-cycle divergence the
+// bound creates — device_cycles differs between the two by construction
+// and the deterministic CI gate holds each at zero drift.
+func BenchmarkMSHRBound4(b *testing.B)    { benchMSHR(b, 4) }
+func BenchmarkMSHRUnbounded(b *testing.B) { benchMSHR(b, 0) }
+
+func benchMSHR(b *testing.B, mshrs int) {
+	b.Helper()
+	cfg := sim.DefaultConfig(2, 32, 8)
+	cfg.Workers = 1
+	cfg.Mem.L1.MSHRs = mshrs
+	cfg.Mem.L2.MSHRs = mshrs
+	// Same DRAM-bound stream as BenchmarkHighWarpIssue: each warp walks its
+	// own 4 KiB region at line stride; the 256 KiB aggregate footprint
+	// defeats the 128 KiB L2, so every iteration misses to DRAM and the
+	// per-core MSHRs throttle how many of the 32 warps can have misses in
+	// flight at once.
+	prog := `
+		csrr s0, cid
+		slli s0, s0, 17
+		csrr t0, wid
+		slli t1, t0, 12
+		add  s0, s0, t1
+		csrr t0, tid
+		slli t1, t0, 9
+		add  s0, s0, t1
+		li   t2, 0x100000
+		add  s0, s0, t2
+		li   t3, 8
+	loop:
+		lw   t4, 0(s0)
+		add  t4, t4, t3
+		sw   t4, 0(s0)
+		addi s0, s0, 64
+		addi t3, t3, -1
+		bnez t3, loop
+		ecall
+	`
+	p := asm.MustAssemble(prog, 0x1000, nil)
+	memory := mem.NewMemory(1 << 21)
+	hier, err := mem.NewHierarchy(cfg.Cores, cfg.Mem)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := sim.New(cfg, memory, hier)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s.LoadProgram(p.Base, p.Insts); err != nil {
+		b.Fatal(err)
+	}
+	runOnce := func() {
+		for c := 0; c < cfg.Cores; c++ {
+			for w := 0; w < cfg.Warps; w++ {
+				if err := s.ActivateWarp(c, w, 0x1000, 0xFF); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if err := s.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	runOnce() // warm up: first activation allocates the register files
+	warmCycles := s.Cycle()
+	warmIssued := s.TotalStats().Issued
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runOnce()
+	}
+	b.StopTimer()
+	issued := s.TotalStats().Issued - warmIssued
+	b.ReportMetric(float64(issued)/b.Elapsed().Seconds(), "sim_instrs/s")
+	b.ReportMetric(float64(s.Cycle()-warmCycles)/float64(b.N), "device_cycles")
+}

@@ -7,6 +7,7 @@
 //
 //	vortex-run [-config 4c8w16t] [-kernel sgemm] [-lws 0] [-scale 1.0]
 //	           [-mapper ours|lws=1|lws=32] [-sched rr|gto|oldest|2lev]
+//	           [-mshrs 0] [-l1 16k4w] [-prefetch off|nextline]
 //	           [-seed 42] [-compare] [-tick-engine] [-batch-exec=false]
 package main
 
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/mem"
 	"repro/internal/ocl"
 	"repro/internal/sim"
 )
@@ -32,6 +34,9 @@ func main() {
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	sched := flag.String("sched", "rr", "warp scheduler policy: rr, gto, oldest or 2lev")
+	mshrs := flag.Int("mshrs", 0, "outstanding-miss bound per L1 and per L2 bank (0 = unbounded)")
+	l1geom := flag.String("l1", mem.DefaultL1Geometry(), "L1 geometry (<size-KiB>k<ways>w, e.g. 16k4w)")
+	prefetch := flag.String("prefetch", "off", "L1 prefetch policy: off or nextline")
 	tickEngine := flag.Bool("tick-engine", false, "use the legacy per-cycle tick loop instead of the event-driven device engine (identical results, differential oracle)")
 	batchExec := flag.Bool("batch-exec", true, "execute lockstep warp cohorts with fused batched kernels; false selects the per-warp oracle path (identical results)")
 	cacheStats := flag.Bool("cache-stats", false, "print the campaign-engine cache counters (program cache, input memo) after the run")
@@ -42,7 +47,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
 	}
-	dev := devOpts{workers: *workers, commitWorkers: *commitWorkers, sched: schedPol, tickEngine: *tickEngine, batchExec: *batchExec}
+	if *mshrs < 0 {
+		fmt.Fprintf(os.Stderr, "vortex-run: -mshrs must be >= 0 (got %d; 0 = unbounded)\n", *mshrs)
+		os.Exit(1)
+	}
+	l1Size, l1Ways, err := mem.ParseL1Geometry(*l1geom)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-run:", err)
+		os.Exit(1)
+	}
+	pfetch, err := mem.ParsePrefetchPolicy(*prefetch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vortex-run:", err)
+		os.Exit(1)
+	}
+	dev := devOpts{workers: *workers, commitWorkers: *commitWorkers, sched: schedPol, tickEngine: *tickEngine, batchExec: *batchExec,
+		mshrs: *mshrs, l1Size: l1Size, l1Ways: l1Ways, prefetch: pfetch}
 	if err := run(*cfgName, *kernel, *lws, *mapper, *scale, *seed, *compare, dev); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-run:", err)
 		os.Exit(1)
@@ -69,13 +89,17 @@ func mapperByName(name string) (core.Mapper, error) {
 
 // devOpts bundles the engine knobs forwarded to every device built by this
 // command: host parallelism, commit sharding, the warp scheduler policy,
-// the tick-engine fallback and the batched-execution toggle.
+// the tick-engine fallback, the batched-execution toggle and the
+// memory-side axes (MSHR bound, L1 geometry, prefetch policy).
 type devOpts struct {
-	workers       int
-	commitWorkers int
-	sched         sim.SchedPolicy
-	tickEngine    bool
-	batchExec     bool
+	workers        int
+	commitWorkers  int
+	sched          sim.SchedPolicy
+	tickEngine     bool
+	batchExec      bool
+	mshrs          int
+	l1Size, l1Ways int
+	prefetch       mem.PrefetchPolicy
 }
 
 // deviceConfig builds the simulator config for hw; workers > 0 overrides
@@ -94,6 +118,13 @@ func deviceConfig(hw core.HWInfo, dev devOpts) sim.Config {
 	cfg.Sched = dev.sched
 	cfg.TickEngine = dev.tickEngine
 	cfg.BatchExec = dev.batchExec
+	cfg.Mem.L1.MSHRs = dev.mshrs
+	cfg.Mem.L2.MSHRs = dev.mshrs
+	if dev.l1Size > 0 {
+		cfg.Mem.L1.SizeBytes = dev.l1Size
+		cfg.Mem.L1.Ways = dev.l1Ways
+	}
+	cfg.Mem.Prefetch = dev.prefetch
 	return cfg
 }
 
@@ -146,6 +177,9 @@ func run(cfgName, kernel string, lws int, mapperName string, scale float64, seed
 		fmt.Printf("  L1: %d accesses, %.1f%% hits; L2: %d accesses, %.1f%% hits; DRAM: %d line reads, %d writebacks\n",
 			lr.L1.Accesses, lr.L1.HitRate()*100, lr.L2.Accesses, lr.L2.HitRate()*100,
 			lr.DRAM.LineReads, lr.DRAM.Writebacks)
+		if lr.L1.PrefetchIssued > 0 || lr.L1.PrefetchHits > 0 {
+			fmt.Printf("  L1 prefetch: %d issued, %d hits\n", lr.L1.PrefetchIssued, lr.L1.PrefetchHits)
+		}
 	}
 	return nil
 }

@@ -10,7 +10,8 @@
 // Usage:
 //
 //	vortex-sweep [-scale 1.0] [-configs 450] [-grid 1c2w2t,...] [-kernels all]
-//	             [-sched rr,gto,oldest,2lev] [-seed 42] [-violins] [-verify]
+//	             [-sched rr,gto,oldest,2lev] [-mshrs 0,4] [-l1 16k4w,32k8w]
+//	             [-prefetch off,nextline] [-seed 42] [-violins] [-verify]
 //	             [-csv out.csv] [-progress] [-tick-engine]
 //	             [-checkpoint campaign.jsonl] [-resume] [-shard i/N]
 //	vortex-sweep merge [-out merged.jsonl] [-csv out.csv] [-violins]
@@ -57,6 +58,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/mem"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
@@ -97,6 +99,9 @@ type campaignFlags struct {
 	kernelCSV     *string
 	gridCSV       *string
 	schedCSV      *string
+	mshrsCSV      *string
+	l1CSV         *string
+	prefetchCSV   *string
 	seed          *int64
 	verify        *bool
 	workers       *int
@@ -113,6 +118,9 @@ func addCampaignFlags(fs *flag.FlagSet) *campaignFlags {
 		kernelCSV:     fs.String("kernels", "all", "comma-separated kernels or 'all'"),
 		gridCSV:       fs.String("grid", "", "explicit comma-separated config names (e.g. 1c2w2t,4c4w4t); overrides -configs"),
 		schedCSV:      fs.String("sched", "rr", "comma-separated warp-scheduler grid axis (rr, gto, oldest, 2lev)"),
+		mshrsCSV:      fs.String("mshrs", "0", "comma-separated MSHR grid axis: outstanding-miss bound per L1 and per L2 bank (0 = unbounded)"),
+		l1CSV:         fs.String("l1", mem.DefaultL1Geometry(), "comma-separated L1 geometry grid axis (<size-KiB>k<ways>w, e.g. 16k4w,32k8w)"),
+		prefetchCSV:   fs.String("prefetch", "off", "comma-separated L1 prefetch grid axis (off, nextline)"),
 		seed:          fs.Int64("seed", 42, "input generation seed"),
 		verify:        fs.Bool("verify", false, "verify device output against CPU references on every run"),
 		workers:       fs.Int("workers", 0, "parallel simulations (0 = GOMAXPROCS)"),
@@ -151,6 +159,48 @@ func (cf *campaignFlags) options() (sweep.Options, error) {
 		seenSched[p] = true
 		scheds = append(scheds, p)
 	}
+	var mshrs []int
+	seenMSHR := map[int]bool{}
+	for _, field := range strings.Split(*cf.mshrsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return opts, fmt.Errorf("bad -mshrs entry %q (want a non-negative count, 0 = unbounded)", strings.TrimSpace(field))
+		}
+		if n < 0 {
+			return opts, fmt.Errorf("-mshrs entries must be >= 0 (got %d; 0 = unbounded)", n)
+		}
+		if seenMSHR[n] {
+			return opts, fmt.Errorf("duplicate -mshrs entry %d: each MSHR bound appears on the grid axis once", n)
+		}
+		seenMSHR[n] = true
+		mshrs = append(mshrs, n)
+	}
+	var l1s []string
+	seenL1 := map[string]bool{}
+	for _, field := range strings.Split(*cf.l1CSV, ",") {
+		spec := strings.TrimSpace(field)
+		if _, _, err := mem.ParseL1Geometry(spec); err != nil {
+			return opts, err
+		}
+		if seenL1[spec] {
+			return opts, fmt.Errorf("duplicate -l1 entry %s: each L1 geometry appears on the grid axis once", spec)
+		}
+		seenL1[spec] = true
+		l1s = append(l1s, spec)
+	}
+	var prefetch []mem.PrefetchPolicy
+	seenPf := map[mem.PrefetchPolicy]bool{}
+	for _, field := range strings.Split(*cf.prefetchCSV, ",") {
+		p, err := mem.ParsePrefetchPolicy(strings.TrimSpace(field))
+		if err != nil {
+			return opts, err
+		}
+		if seenPf[p] {
+			return opts, fmt.Errorf("duplicate -prefetch entry %s: each prefetch policy appears on the grid axis once", p)
+		}
+		seenPf[p] = true
+		prefetch = append(prefetch, p)
+	}
 	names := kernels.Names()
 	if *cf.kernelCSV != "all" && *cf.kernelCSV != "" {
 		names = nil
@@ -180,6 +230,9 @@ func (cf *campaignFlags) options() (sweep.Options, error) {
 		Configs:       configs,
 		Kernels:       names,
 		Scheds:        scheds,
+		MSHRs:         mshrs,
+		L1Geoms:       l1s,
+		Prefetch:      prefetch,
 		Scale:         *cf.scale,
 		Seed:          *cf.seed,
 		Verify:        *cf.verify,
@@ -286,8 +339,12 @@ func runCampaign(args []string) {
 	if len(opts.Scheds) > 1 {
 		schedNote = fmt.Sprintf(" x %d schedulers (%s)", len(opts.Scheds), *cf.schedCSV)
 	}
-	fmt.Printf("Figure 2 reproduction: %d configs x %d kernels x 3 mappings%s, scale=%.2f, seed=%d%s\n\n",
-		len(opts.Configs), len(opts.Kernels), schedNote, *cf.scale, *cf.seed, shardNote)
+	memNote := ""
+	if n := len(opts.MSHRs) * len(opts.L1Geoms) * len(opts.Prefetch); n > 1 {
+		memNote = fmt.Sprintf(" x %d memory points (mshrs=%s, l1=%s, prefetch=%s)", n, *cf.mshrsCSV, *cf.l1CSV, *cf.prefetchCSV)
+	}
+	fmt.Printf("Figure 2 reproduction: %d configs x %d kernels x 3 mappings%s%s, scale=%.2f, seed=%d%s\n\n",
+		len(opts.Configs), len(opts.Kernels), schedNote, memNote, *cf.scale, *cf.seed, shardNote)
 
 	res, err := sweep.Run(opts)
 	if err != nil {

@@ -1,25 +1,30 @@
 // Command vortex-tuner contrasts empirical autotuning (the
 // hardware-agnostic approach the paper's runtime technique replaces) with
 // the closed-form Eq. 1 decision: it searches the lws space of a kernel on
-// a device — optionally widened to the warp-scheduler axis with
-// -sched all — reports the probes, and quantifies both the quality gap and
-// the search overhead that Eq. 1 avoids.
+// a device — optionally widened to the warp-scheduler axis with -sched all
+// and to the memory-side axes with comma-separated -mshrs/-l1/-prefetch —
+// reports the probes, and quantifies both the quality gap and the search
+// overhead that Eq. 1 avoids.
 //
 // Usage:
 //
 //	vortex-tuner [-config 2c4w8t] [-kernel saxpy] [-scale 0.5]
 //	             [-strategy exhaustive|hillclimb]
-//	             [-sched rr|gto|oldest|2lev|all] [-seed 42] [-tick-engine]
-//	             [-batch-exec=false]
+//	             [-sched rr|gto|oldest|2lev|all]
+//	             [-mshrs 0,4] [-l1 16k4w,32k8w] [-prefetch off,nextline]
+//	             [-seed 42] [-tick-engine] [-batch-exec=false]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/mem"
 	"repro/internal/ocl"
 	"repro/internal/sim"
 	"repro/internal/tuner"
@@ -31,6 +36,9 @@ func main() {
 	scale := flag.Float64("scale", 0.5, "workload scale")
 	strategy := flag.String("strategy", "exhaustive", "search strategy: exhaustive or hillclimb")
 	sched := flag.String("sched", "rr", "warp scheduler to tune under (rr, gto, oldest, 2lev), or 'all' to search the policy axis too")
+	mshrsCSV := flag.String("mshrs", "0", "comma-separated MSHR bounds to search (outstanding misses per L1/L2 bank, 0 = unbounded)")
+	l1CSV := flag.String("l1", mem.DefaultL1Geometry(), "comma-separated L1 geometries to search (<size-KiB>k<ways>w)")
+	prefetchCSV := flag.String("prefetch", "off", "comma-separated L1 prefetch policies to search (off, nextline)")
 	seed := flag.Int64("seed", 42, "input seed")
 	workers := flag.Int("workers", 0, "host threads simulating cores in parallel per probe (0 = all CPUs, 1 = sequential)")
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
@@ -38,13 +46,23 @@ func main() {
 	batchExec := flag.Bool("batch-exec", true, "execute lockstep warp cohorts with fused batched kernels; false selects the per-warp oracle path (identical results)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *seed, *workers, *commitWorkers, *tickEngine, *batchExec); err != nil {
+	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *mshrsCSV, *l1CSV, *prefetchCSV, *seed, *workers, *commitWorkers, *tickEngine, *batchExec); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-tuner:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfgName, kernel string, scale float64, strategy, schedName string, seed int64, workers, commitWorkers int, tickEngine, batchExec bool) error {
+// axisPoint is one cell of the tuner's device-axis search space: a warp
+// scheduler plus the memory-side knobs. Its name doubles as the opaque axis
+// label tuner.AcrossScheds searches over.
+type axisPoint struct {
+	sched          sim.SchedPolicy
+	mshrs          int
+	l1Size, l1Ways int
+	prefetch       mem.PrefetchPolicy
+}
+
+func run(cfgName, kernel string, scale float64, strategy, schedName, mshrsCSV, l1CSV, prefetchCSV string, seed int64, workers, commitWorkers int, tickEngine, batchExec bool) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -53,7 +71,7 @@ func run(cfgName, kernel string, scale float64, strategy, schedName string, seed
 	if err != nil {
 		return err
 	}
-	baseCfg := func(sched sim.SchedPolicy) sim.Config {
+	baseCfg := func(pt axisPoint) sim.Config {
 		cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
 		if workers > 0 {
 			cfg.Workers = workers
@@ -61,30 +79,85 @@ func run(cfgName, kernel string, scale float64, strategy, schedName string, seed
 		if commitWorkers > 0 {
 			cfg.CommitWorkers = commitWorkers
 		}
-		cfg.Sched = sched
+		cfg.Sched = pt.sched
 		cfg.TickEngine = tickEngine
 		cfg.BatchExec = batchExec
+		cfg.Mem.L1.MSHRs = pt.mshrs
+		cfg.Mem.L2.MSHRs = pt.mshrs
+		if pt.l1Size > 0 {
+			cfg.Mem.L1.SizeBytes = pt.l1Size
+			cfg.Mem.L1.Ways = pt.l1Ways
+		}
+		cfg.Mem.Prefetch = pt.prefetch
 		return cfg
 	}
 
-	var scheds []string
-	polByName := map[string]sim.SchedPolicy{}
+	var schedPols []sim.SchedPolicy
 	if schedName == "all" {
-		for _, p := range sim.SchedPolicies() {
-			scheds = append(scheds, p.String())
-			polByName[p.String()] = p
-		}
+		schedPols = sim.SchedPolicies()
 	} else {
 		p, err := sim.ParseSchedPolicy(schedName)
 		if err != nil {
 			return err
 		}
-		scheds = []string{p.String()}
-		polByName[p.String()] = p
+		schedPols = []sim.SchedPolicy{p}
+	}
+	var mshrsList []int
+	for _, field := range strings.Split(mshrsCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad -mshrs entry %q (want a non-negative count, 0 = unbounded)", strings.TrimSpace(field))
+		}
+		mshrsList = append(mshrsList, n)
+	}
+	type geom struct {
+		spec       string
+		size, ways int
+	}
+	var l1List []geom
+	for _, field := range strings.Split(l1CSV, ",") {
+		spec := strings.TrimSpace(field)
+		size, ways, err := mem.ParseL1Geometry(spec)
+		if err != nil {
+			return err
+		}
+		l1List = append(l1List, geom{spec: spec, size: size, ways: ways})
+	}
+	var pfList []mem.PrefetchPolicy
+	for _, field := range strings.Split(prefetchCSV, ",") {
+		p, err := mem.ParsePrefetchPolicy(strings.TrimSpace(field))
+		if err != nil {
+			return err
+		}
+		pfList = append(pfList, p)
+	}
+
+	// The search axis is the cross product of scheduler and memory points.
+	// When the memory axes are single points (the default), labels stay the
+	// bare scheduler names, preserving the sched-only output.
+	memMulti := len(mshrsList)*len(l1List)*len(pfList) > 1
+	pointByName := map[string]axisPoint{}
+	var points []string
+	for _, pol := range schedPols {
+		for _, n := range mshrsList {
+			for _, g := range l1List {
+				for _, pf := range pfList {
+					name := pol.String()
+					if memMulti {
+						name = fmt.Sprintf("%s/mshrs=%d/l1=%s/prefetch=%s", pol, n, g.spec, pf)
+					}
+					if _, dup := pointByName[name]; dup {
+						return fmt.Errorf("duplicate search point %s: list each -sched/-mshrs/-l1/-prefetch value once", name)
+					}
+					pointByName[name] = axisPoint{sched: pol, mshrs: n, l1Size: g.size, l1Ways: g.ways, prefetch: pf}
+					points = append(points, name)
+				}
+			}
+		}
 	}
 
 	// Discover the gws from a throwaway build.
-	probeDev, err := ocl.NewDevice(baseCfg(sim.SchedRoundRobin))
+	probeDev, err := ocl.NewDevice(baseCfg(pointByName[points[0]]))
 	if err != nil {
 		return err
 	}
@@ -97,10 +170,10 @@ func run(cfgName, kernel string, scale float64, strategy, schedName string, seed
 	}
 	gws := c0.Launches[0].GWS
 
-	mkRunner := func(schedName string) tuner.Runner {
-		pol := polByName[schedName]
+	mkRunner := func(pointName string) tuner.Runner {
+		pt := pointByName[pointName]
 		return func(lws int) (uint64, error) {
-			d, err := ocl.NewDevice(baseCfg(pol))
+			d, err := ocl.NewDevice(baseCfg(pt))
 			if err != nil {
 				return 0, err
 			}
@@ -125,17 +198,17 @@ func run(cfgName, kernel string, scale float64, strategy, schedName string, seed
 		return fmt.Errorf("unknown strategy %q", strategy)
 	}
 
-	fmt.Printf("tuning %s (gws=%d) on %s (hp=%d), strategy: %s, schedulers: %v\n\n",
-		kernel, gws, hw.Name(), hw.HP(), strategy, scheds)
+	fmt.Printf("tuning %s (gws=%d) on %s (hp=%d), strategy: %s, device points: %v\n\n",
+		kernel, gws, hw.Name(), hw.HP(), strategy, points)
 
-	probes, best, err := tuner.AcrossScheds(scheds, mkRunner, search)
+	probes, best, err := tuner.AcrossScheds(points, mkRunner, search)
 	if err != nil {
 		return err
 	}
 	for _, sp := range probes {
 		res := sp.Res
 		if len(probes) > 1 {
-			fmt.Printf("--- sched %s ---\n", sp.Sched)
+			fmt.Printf("--- %s ---\n", sp.Sched)
 		}
 		fmt.Printf("%-8s %s\n", "lws", "cycles")
 		for _, p := range res.Probes {
@@ -156,7 +229,7 @@ func run(cfgName, kernel string, scale float64, strategy, schedName string, seed
 	}
 	if len(probes) > 1 {
 		bp := probes[best]
-		fmt.Printf("policy-axis best: sched=%s lws=%d (%d cycles); Eq. 1 under the same policy: %.3fx of it\n",
+		fmt.Printf("device-axis best: %s lws=%d (%d cycles); Eq. 1 under the same point: %.3fx of it\n",
 			bp.Sched, bp.Res.BestLWS, bp.Res.BestCycles, bp.Res.Eq1Gap())
 	}
 	return nil

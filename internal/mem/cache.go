@@ -8,6 +8,13 @@ type CacheConfig struct {
 	LineBytes  int // line size (power of two)
 	Ways       int // associativity
 	HitLatency int // cycles from access to data for a hit
+
+	// MSHRs bounds the outstanding misses this level tolerates (miss-status
+	// holding registers). 0 means unbounded — the pre-MSHR model and the
+	// differential oracle. The cache itself only carries the knob: occupancy
+	// lives with the timing engine that owns the level (the simulator's
+	// per-core LSU for L1s, the hierarchy's per-bank fetch path for L2).
+	MSHRs int
 }
 
 // Validate checks the geometry is realizable.
@@ -28,6 +35,9 @@ func (c CacheConfig) Validate() error {
 	if c.HitLatency < 0 {
 		return fmt.Errorf("mem: negative hit latency")
 	}
+	if c.MSHRs < 0 {
+		return fmt.Errorf("mem: negative MSHR count %d", c.MSHRs)
+	}
 	return nil
 }
 
@@ -37,6 +47,13 @@ type CacheStats struct {
 	Hits       uint64
 	Misses     uint64
 	Writebacks uint64
+	// PrefetchIssued counts tag-only prefetch fills performed; PrefetchHits
+	// counts demand accesses whose first touch landed on a still-unused
+	// prefetched line (the bit clears on that touch, so a line counts once).
+	// Neither perturbs Accesses/Hits/Misses: a prefetch hit is still a
+	// demand hit.
+	PrefetchIssued uint64
+	PrefetchHits   uint64
 }
 
 // HitRate returns hits/accesses, or 0 for an untouched cache.
@@ -48,10 +65,11 @@ func (s CacheStats) HitRate() float64 {
 }
 
 type cacheLine struct {
-	tag   uint32
-	valid bool
-	dirty bool
-	lru   uint64 // last-touched stamp; larger is more recent
+	tag    uint32
+	valid  bool
+	dirty  bool
+	pfetch bool   // filled by a prefetch and not yet touched by demand
+	lru    uint64 // last-touched stamp; larger is more recent
 }
 
 // Cache is one set-associative, write-back, write-allocate cache level.
@@ -104,6 +122,10 @@ func (c *Cache) lookup(addr uint32, write bool) bool {
 			if write {
 				c.lines[i].dirty = true
 			}
+			if c.lines[i].pfetch {
+				c.lines[i].pfetch = false
+				c.Stats.PrefetchHits++
+			}
 			c.Stats.Hits++
 			return true
 		}
@@ -137,6 +159,41 @@ func (c *Cache) fill(addr uint32, write bool) (writeback bool, victimAddr uint32
 	}
 	*line = cacheLine{tag: tag, valid: true, dirty: write, lru: c.stamp}
 	return writeback, victimAddr
+}
+
+// prefetchFill inserts addr's line as a clean, prefetched-but-unused line
+// and reports whether it did. It is deliberately weaker than a demand fill:
+// an already-present line is left untouched, and a set whose LRU victim is
+// dirty drops the prefetch instead of evicting — a tag-only speculative
+// fill never generates writeback traffic (the modeling choice DESIGN.md's
+// "Memory axes" section records). Counted in Stats.PrefetchIssued, not in
+// Accesses/Hits/Misses.
+func (c *Cache) prefetchFill(addr uint32) bool {
+	set := (addr >> c.lineShift) & c.setMask
+	tag := addr >> c.lineShift
+	base := int(set) * c.cfg.Ways
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if c.lines[i].valid && c.lines[i].tag == tag {
+			return false
+		}
+	}
+	victim := base
+	for i := base; i < base+c.cfg.Ways; i++ {
+		if !c.lines[i].valid {
+			victim = i
+			break
+		}
+		if c.lines[i].lru < c.lines[victim].lru {
+			victim = i
+		}
+	}
+	if c.lines[victim].valid && c.lines[victim].dirty {
+		return false
+	}
+	c.stamp++
+	c.lines[victim] = cacheLine{tag: tag, valid: true, pfetch: true, lru: c.stamp}
+	c.Stats.PrefetchIssued++
+	return true
 }
 
 // Contains reports (without LRU side effects) whether addr's line is cached.

@@ -1,0 +1,56 @@
+package mem
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseL1Geometry resolves a compact L1 geometry spec of the form
+// "<size>k<ways>w" — KiB of capacity and associativity, e.g. "16k4w" or
+// "32k8w" — into (SizeBytes, Ways). The grammar is deliberately rigid
+// (lowercase markers, both fields required, nothing else) because specs are
+// grid-axis values: they round-trip through checkpoint metas, CSV columns
+// and CLI flags, and two spellings of one geometry would alias grid points.
+// The resulting geometry must validate against the default line size, so a
+// bad spec is refused here at the Options/CLI boundary rather than deep in
+// device construction.
+func ParseL1Geometry(spec string) (sizeBytes, ways int, err error) {
+	fail := func() (int, int, error) {
+		return 0, 0, fmt.Errorf("mem: bad L1 geometry %q (want <size-KiB>k<ways>w, e.g. 16k4w)", spec)
+	}
+	k := strings.IndexByte(spec, 'k')
+	if k <= 0 || !strings.HasSuffix(spec, "w") || len(spec) < k+3 {
+		return fail()
+	}
+	kb, err := strconv.Atoi(spec[:k])
+	if err != nil || kb <= 0 {
+		return fail()
+	}
+	ways, err = strconv.Atoi(spec[k+1 : len(spec)-1])
+	if err != nil || ways <= 0 {
+		return fail()
+	}
+	cfg := DefaultHierarchyConfig().L1
+	cfg.SizeBytes, cfg.Ways = kb<<10, ways
+	if err := cfg.Validate(); err != nil {
+		return 0, 0, fmt.Errorf("mem: L1 geometry %q: %w", spec, err)
+	}
+	return kb << 10, ways, nil
+}
+
+// FormatL1Geometry renders (SizeBytes, Ways) in the canonical spec form
+// ParseL1Geometry accepts; sizes not a whole number of KiB cannot come from
+// a spec and render with a byte suffix for diagnostics only.
+func FormatL1Geometry(sizeBytes, ways int) string {
+	if sizeBytes%1024 == 0 {
+		return fmt.Sprintf("%dk%dw", sizeBytes>>10, ways)
+	}
+	return fmt.Sprintf("%db%dw", sizeBytes, ways)
+}
+
+// DefaultL1Geometry returns the canonical spec of the default L1.
+func DefaultL1Geometry() string {
+	l1 := DefaultHierarchyConfig().L1
+	return FormatL1Geometry(l1.SizeBytes, l1.Ways)
+}

@@ -13,6 +13,47 @@ type DRAMConfig struct {
 	Channels int
 }
 
+// PrefetchPolicy selects the L1 prefetcher.
+type PrefetchPolicy uint8
+
+const (
+	// PrefetchOff disables prefetching — the pre-prefetch model and the
+	// differential oracle.
+	PrefetchOff PrefetchPolicy = iota
+	// PrefetchNextLine issues a tag-only fill of line X+1 into the
+	// requesting core's L1 on every demand miss of line X (skipped when
+	// the line is already present, when the set's LRU victim is dirty, or
+	// when the next line would wrap the address space; see
+	// Cache.prefetchFill).
+	PrefetchNextLine
+)
+
+func (p PrefetchPolicy) String() string {
+	switch p {
+	case PrefetchOff:
+		return "off"
+	case PrefetchNextLine:
+		return "nextline"
+	}
+	return fmt.Sprintf("prefetch(%d)", uint8(p))
+}
+
+// PrefetchPolicies lists every prefetch policy, in enum order.
+func PrefetchPolicies() []PrefetchPolicy {
+	return []PrefetchPolicy{PrefetchOff, PrefetchNextLine}
+}
+
+// ParsePrefetchPolicy resolves a policy name as printed by
+// PrefetchPolicy.String ("off", "nextline").
+func ParsePrefetchPolicy(name string) (PrefetchPolicy, error) {
+	for _, p := range PrefetchPolicies() {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("mem: unknown prefetch policy %q (want off or nextline)", name)
+}
+
 // HierarchyConfig sizes the full memory system.
 type HierarchyConfig struct {
 	L1   CacheConfig
@@ -27,11 +68,13 @@ type HierarchyConfig struct {
 	// decisions and aggregate statistics are identical to a monolithic L2
 	// of the same total geometry.
 	L2Banks int
+	// Prefetch selects the L1 prefetcher (default PrefetchOff).
+	Prefetch PrefetchPolicy
 }
 
 // DefaultHierarchyConfig returns the Vortex-like defaults documented in
-// DESIGN.md: 16 KiB 4-way L1 (64 B lines, 1-cycle hits), 128 KiB 8-way
-// shared L2 (12-cycle hits), 100-cycle DRAM at 16 B/cycle.
+// DESIGN.md: 16 KiB 4-way L1 (64 B lines, 2-cycle hits), 128 KiB 8-way
+// shared L2 (24-cycle hits), 180-cycle DRAM at 16 B/cycle.
 func DefaultHierarchyConfig() HierarchyConfig {
 	return HierarchyConfig{
 		L1:      CacheConfig{SizeBytes: 16 << 10, LineBytes: 64, Ways: 4, HitLatency: 2},
@@ -84,6 +127,11 @@ type Hierarchy struct {
 	bankMask  uint32
 	lineShift uint
 	dram      []dramChannel
+	// bankMSHR tracks, per L2 bank, the completion cycles of the bank's
+	// outstanding DRAM fetches when L2.MSHRs > 0 (nil when unbounded).
+	// Bank-owned like the bank caches, so the sharded commit engine keeps
+	// its per-bank safety.
+	bankMSHR [][]uint64
 }
 
 // NewHierarchy builds the hierarchy for cores L1 instances.
@@ -99,6 +147,12 @@ func NewHierarchy(cores int, cfg HierarchyConfig) (*Hierarchy, error) {
 	}
 	if cfg.L2Banks < 0 {
 		return nil, fmt.Errorf("mem: negative L2 bank count %d", cfg.L2Banks)
+	}
+	if cfg.DRAM.Channels < 0 {
+		return nil, fmt.Errorf("mem: negative DRAM channel count %d", cfg.DRAM.Channels)
+	}
+	if _, err := ParsePrefetchPolicy(cfg.Prefetch.String()); err != nil {
+		return nil, err
 	}
 	h := &Hierarchy{cfg: cfg}
 	for i := 0; i < cores; i++ {
@@ -126,6 +180,12 @@ func NewHierarchy(cores int, cfg HierarchyConfig) (*Hierarchy, error) {
 		h.bankBits++
 	}
 	h.bankMask = uint32(nb - 1)
+	if cfg.L2.MSHRs > 0 && !cfg.L2Disabled {
+		h.bankMSHR = make([][]uint64, nb)
+		for i := range h.bankMSHR {
+			h.bankMSHR[i] = make([]uint64, 0, cfg.L2.MSHRs)
+		}
+	}
 	ch := cfg.DRAM.Channels
 	if ch < 1 {
 		ch = 1
@@ -205,6 +265,8 @@ func (h *Hierarchy) TotalL1Stats() CacheStats {
 		s.Hits += c.Stats.Hits
 		s.Misses += c.Stats.Misses
 		s.Writebacks += c.Stats.Writebacks
+		s.PrefetchIssued += c.Stats.PrefetchIssued
+		s.PrefetchHits += c.Stats.PrefetchHits
 	}
 	return s
 }
@@ -239,6 +301,15 @@ func (h *Hierarchy) L1Access(core int, addr uint32, write bool, now uint64) (Acc
 		return AccessResult{Done: t, L1Hit: true}, false, MissInfo{}
 	}
 	wb, victim := l1.fill(addr, write)
+	if h.cfg.Prefetch == PrefetchNextLine {
+		// Tag-only next-line prefetch: free of timing (the fill models a
+		// fetch riding along with the demand line) and core-local, so the
+		// parallel engine's concurrent-L1 safety is untouched. Skipped
+		// when line+1 would wrap the 32-bit address space.
+		if next := (addr &^ uint32(h.cfg.L1.LineBytes-1)) + uint32(h.cfg.L1.LineBytes); next != 0 {
+			l1.prefetchFill(next)
+		}
+	}
 	return AccessResult{}, true, MissInfo{Addr: addr, Write: write, At: t, WB: wb, WBAddr: victim}
 }
 
@@ -308,7 +379,46 @@ func (h *Hierarchy) BankFill(m MissInfo) (res AccessResult, fetchAt uint64, need
 	if wb, v := b.fill(baddr, m.Write); wb {
 		victim, hasVictim = h.bankVictim(bank, v), true
 	}
+	if h.bankMSHR != nil {
+		t = h.bankFetchSlot(bank, t)
+	}
 	return AccessResult{}, t, true, victim, hasVictim
+}
+
+// bankFetchSlot applies the bank's MSHR bound to a DRAM fetch that wants to
+// leave at cycle at: entries whose lifetime has ended are retired, and while
+// every MSHR is busy the fetch (and the victim writeback travelling with it)
+// is pushed to the earliest retirement. An entry's lifetime is the bank-local
+// unloaded round trip [fetchAt, fetchAt + DRAM latency + transfer) — the
+// bank cannot observe real channel contention without breaking the sharded
+// commit's bank-ownership invariant, so the bound is deterministic by
+// construction (DESIGN.md, "Memory axes"). Touches only bank state.
+func (h *Hierarchy) bankFetchSlot(bank int, at uint64) uint64 {
+	q := h.bankMSHR[bank][:0]
+	for _, d := range h.bankMSHR[bank] {
+		if d > at {
+			q = append(q, d)
+		}
+	}
+	for len(q) >= h.cfg.L2.MSHRs {
+		min := q[0]
+		for _, d := range q[1:] {
+			if d < min {
+				min = d
+			}
+		}
+		at = min
+		live := q[:0]
+		for _, d := range q {
+			if d > at {
+				live = append(live, d)
+			}
+		}
+		q = live
+	}
+	q = append(q, at+uint64(h.cfg.DRAM.Latency)+h.transferCycles())
+	h.bankMSHR[bank] = q
+	return at
 }
 
 // Access performs the full timing walk for one cache-line request issued by
@@ -411,6 +521,9 @@ func (h *Hierarchy) Reset() {
 	for i := range h.dram {
 		h.dram[i].free = 0
 		h.dram[i].stats = DRAMStats{}
+	}
+	for i := range h.bankMSHR {
+		h.bankMSHR[i] = h.bankMSHR[i][:0]
 	}
 }
 

@@ -200,6 +200,15 @@ func (c Config) Validate() error {
 	if c.Lat == (Latencies{}) {
 		return fmt.Errorf("sim: zero latencies; use DefaultLatencies")
 	}
+	if c.Mem.L1.MSHRs < 0 {
+		return fmt.Errorf("sim: negative L1 MSHR count %d", c.Mem.L1.MSHRs)
+	}
+	if c.Mem.L2.MSHRs < 0 {
+		return fmt.Errorf("sim: negative L2 MSHR count %d", c.Mem.L2.MSHRs)
+	}
+	if _, err := mem.ParsePrefetchPolicy(c.Mem.Prefetch.String()); err != nil {
+		return err
+	}
 	if c.LSUPorts < 1 {
 		return fmt.Errorf("sim: LSUPorts %d must be at least 1", c.LSUPorts)
 	}

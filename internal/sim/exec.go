@@ -415,6 +415,14 @@ func (s *Sim) executeMem(c *simCore, wid int, w *warp, in isa.Inst) (uint64, err
 			if r.Done > done {
 				done = r.Done
 			}
+			if s.mshrs > 0 && !r.L1Hit {
+				// Allocate an MSHR per L1 miss (stores allocate too:
+				// write-allocate fills). The parallel engine appends the
+				// same entries at commit time (commitPatch/commitDeferred),
+				// when the miss completions become known — the gate is next
+				// consulted at the core's next issue, after both.
+				c.mshr = append(c.mshr, r.Done)
+			}
 		}
 	}
 	c.lsuFree = s.cycle + uint64((len(lines)+ports-1)/ports)

@@ -506,6 +506,9 @@ func (s *Sim) commitPatch() {
 			if d.missDone[i] > done {
 				done = d.missDone[i]
 			}
+			if s.mshrs > 0 {
+				c.mshr = append(c.mshr, d.missDone[i])
+			}
 		}
 		if d.isLoad {
 			w := &c.warps[d.wid]
@@ -526,8 +529,12 @@ func (s *Sim) commitDeferred(c *simCore) {
 	d.active = false
 	done := d.partialDone
 	for i := 0; i < d.nMiss; i++ {
-		if r := s.hier.SharedAccess(d.miss[i]); r.Done > done {
+		r := s.hier.SharedAccess(d.miss[i])
+		if r.Done > done {
 			done = r.Done
+		}
+		if s.mshrs > 0 {
+			c.mshr = append(c.mshr, r.Done)
 		}
 	}
 	if d.isLoad {

@@ -295,13 +295,15 @@ func (s *Sim) issueHeap(c *simCore) (bool, uint64, error) {
 				c.sleepWarp(wid, w.wake)
 				continue
 			}
-			if w.wakeMem && c.lsuFree > s.cycle {
-				// Structural LSU stall. The heap key is the current
-				// busy-until cycle; lsuFree only moves forward, so a woken
-				// warp re-checks and re-sleeps if it moved.
-				avail &^= bit
-				c.sleepWarp(wid, c.lsuFree)
-				continue
+			if w.wakeMem {
+				if at := s.lsuReadyAt(c); at > s.cycle {
+					// Structural LSU/MSHR stall. The heap key is the current
+					// ready-at lower bound; it only moves forward, so a woken
+					// warp re-checks and re-sleeps if it moved.
+					avail &^= bit
+					c.sleepWarp(wid, at)
+					continue
+				}
 			}
 			idx := (w.pc - s.progBase) / 4
 			in = s.prog[idx]
@@ -322,11 +324,13 @@ func (s *Sim) issueHeap(c *simCore) (bool, uint64, error) {
 				c.sleepWarp(wid, ready)
 				continue
 			}
-			if m&mIsMem != 0 && c.lsuFree > s.cycle {
-				w.wakeValid, w.wakePC, w.wake, w.wakeMem = true, w.pc, 0, true
-				avail &^= bit
-				c.sleepWarp(wid, c.lsuFree)
-				continue
+			if m&mIsMem != 0 {
+				if at := s.lsuReadyAt(c); at > s.cycle {
+					w.wakeValid, w.wakePC, w.wake, w.wakeMem = true, w.pc, 0, true
+					avail &^= bit
+					c.sleepWarp(wid, at)
+					continue
+				}
 			}
 		}
 		switch {
@@ -441,9 +445,9 @@ func (s *Sim) stallOutcome(c *simCore) uint64 {
 			}
 			continue
 		}
-		if w.wakeMem && c.lsuFree > s.cycle {
-			if c.lsuFree < wake {
-				wake = c.lsuFree
+		if w.wakeMem {
+			if at := s.lsuReadyAt(c); at > s.cycle && at < wake {
+				wake = at
 				blockMem = true
 			}
 		}

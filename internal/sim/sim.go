@@ -137,7 +137,15 @@ type simCore struct {
 	cur      int // GTO: warp currently owning issue priority
 	grp      int // two-level: active fetch group
 
-	lsuFree  uint64
+	lsuFree uint64
+	// mshr holds the completion cycles of the core's outstanding L1 misses
+	// when Config.Mem.L1.MSHRs bounds them (nil when unbounded, the
+	// oracle). An entry is live while its cycle lies in the future; retired
+	// entries are purged lazily by mshrFreeAt during issue. Core-local like
+	// lsuFree, so the parallel engine needs no coordination: the sequential
+	// path appends at execute, the parallel path at commit, and the gate is
+	// only consulted at the core's next issue — after both.
+	mshr     []uint64
 	nextWake uint64
 	active   int // number of active (incl. barrier-waiting) warps
 	barriers [maxBarriers]barrier
@@ -180,6 +188,7 @@ type Sim struct {
 	maxFU    uint64 // cached Lat.max(): the longest FU latency, for stall attribution
 	par      bool   // a parallel run is in flight: defer shared-memory timing
 	batch    bool   // cached cfg.BatchExec && !cfg.ScanSched (the scan oracle is always per-warp)
+	mshrs    int    // cached cfg.Mem.L1.MSHRs: per-core outstanding-miss bound (0 = unbounded)
 
 	// Sharded-commit scratch (parallel engine), reused across cycles: the
 	// cores with deferred memory work this cycle, the per-bank DRAM op
@@ -213,11 +222,19 @@ func New(cfg Config, memory *mem.Memory, hier *mem.Hierarchy) (*Sim, error) {
 		fullMask: fullMask(cfg.Threads),
 		maxFU:    uint64(cfg.Lat.max()),
 		batch:    cfg.BatchExec && !cfg.ScanSched,
+		mshrs:    cfg.Mem.L1.MSHRs,
 	}
 	for i := range s.cores {
 		s.cores[i].id = i
 		s.cores[i].warps = make([]warp, cfg.Warps)
 		s.cores[i].lineBuf = make([]uint32, 0, 64)
+		if s.mshrs > 0 {
+			// One memory instruction can allocate up to 64 entries past a
+			// single free MSHR (the gate requires one free slot, not one per
+			// line), so size the buffer for the worst burst to keep the
+			// issue path allocation-free.
+			s.cores[i].mshr = make([]uint64, 0, s.mshrs+64)
+		}
 		// A cohort spans at most the core's warps, so the preallocation
 		// keeps cohort detection allocation-free.
 		s.cores[i].cohort = make([]*warp, 0, cfg.Warps)
@@ -336,6 +353,7 @@ func (s *Sim) Reset() {
 		c := &s.cores[i]
 		c.resetSched()
 		c.lsuFree = 0
+		c.mshr = c.mshr[:0]
 		c.nextWake = 0
 		c.stallFrom = 0
 		c.active = 0
@@ -623,12 +641,14 @@ func (s *Sim) issueScan(c *simCore) (bool, uint64, error) {
 				}
 				continue
 			}
-			if w.wakeMem && c.lsuFree > s.cycle {
-				if c.lsuFree < wake {
-					wake = c.lsuFree
-					blockMem = true
+			if w.wakeMem {
+				if at := s.lsuReadyAt(c); at > s.cycle {
+					if at < wake {
+						wake = at
+						blockMem = true
+					}
+					continue
 				}
-				continue
 			}
 			in = s.prog[(w.pc-s.progBase)/4]
 		} else {
@@ -653,14 +673,17 @@ func (s *Sim) issueScan(c *simCore) (bool, uint64, error) {
 				continue
 			}
 			// Structural hazard: the LSU accepts one memory instruction at a
-			// time (it streams line requests at 1/cycle).
-			if m&mIsMem != 0 && c.lsuFree > s.cycle {
-				w.wakeValid, w.wakePC, w.wake, w.wakeMem = true, w.pc, 0, true
-				if c.lsuFree < wake {
-					wake = c.lsuFree
-					blockMem = true
+			// time (it streams line requests at 1/cycle), and a bounded MSHR
+			// file must have a free slot before a new miss can be tracked.
+			if m&mIsMem != 0 {
+				if at := s.lsuReadyAt(c); at > s.cycle {
+					w.wakeValid, w.wakePC, w.wake, w.wakeMem = true, w.pc, 0, true
+					if at < wake {
+						wake = at
+						blockMem = true
+					}
+					continue
 				}
-				continue
 			}
 		}
 		if err := s.execute(c, wid, w, in); err != nil {
@@ -688,6 +711,49 @@ func (s *Sim) issueScan(c *simCore) (bool, uint64, error) {
 		wake = s.cycle + 1
 	}
 	return false, wake, nil
+}
+
+// lsuReadyAt returns the earliest cycle core c's LSU can accept a memory
+// instruction: the port-busy deadline (lsuFree) joined with the L1 MSHR
+// bound when one is configured. With MSHRs unbounded (the default and the
+// differential oracle) it is exactly lsuFree, so the issue paths below are
+// byte-identical to the pre-MSHR model. Like the LSU deadline, the result
+// is a lower bound the engines re-check on wake.
+func (s *Sim) lsuReadyAt(c *simCore) uint64 {
+	at := c.lsuFree
+	if s.mshrs > 0 {
+		if free := s.mshrFreeAt(c); free > at {
+			at = free
+		}
+	}
+	return at
+}
+
+// mshrFreeAt purges retired MSHR entries (completion at or before the
+// current cycle) and returns the earliest cycle a new miss could allocate
+// one: the current cycle when a slot is free, else the earliest outstanding
+// completion. The latter is a lower bound — several entries may retire at
+// that cycle or none may free a slot ahead of still-later ones — which is
+// sound because a core's occupancy only falls while its warps are blocked
+// (entries are added only when the core itself issues a memory op), and
+// every engine re-checks the gate at the woken cycle, exactly as it does
+// for the moving lsuFree deadline.
+func (s *Sim) mshrFreeAt(c *simCore) uint64 {
+	q := c.mshr[:0]
+	min := noWake
+	for _, d := range c.mshr {
+		if d > s.cycle {
+			q = append(q, d)
+			if d < min {
+				min = d
+			}
+		}
+	}
+	c.mshr = q
+	if len(q) < s.mshrs {
+		return s.cycle
+	}
+	return min
 }
 
 // regsReadyAt returns the earliest cycle all registers read or written by

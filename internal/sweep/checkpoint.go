@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
 )
@@ -22,11 +23,13 @@ import (
 
 // checkpointVersion guards the line format. Version 2 added the shard
 // identity and the canonical task grid to the meta header; version 3 added
-// the warp-scheduler grid axis (meta `scheds`, per-record `Sched`). Older
-// files are refused rather than guessed at: a v2 record carries no
-// scheduler identity, so splicing it into a v3 grid would silently assign
-// it to an arbitrary policy.
-const checkpointVersion = 3
+// the warp-scheduler grid axis (meta `scheds`, per-record `Sched`);
+// version 4 added the memory-side grid axes (meta `mshrs`, `l1_geoms`,
+// `prefetch`, per-record `MSHRs`/`L1`/`Prefetch`). Older files are refused
+// rather than guessed at: a v3 record carries no memory-axis identity, so
+// splicing it into a v4 grid would silently assign it to an arbitrary
+// grid cell.
+const checkpointVersion = 4
 
 // Meta pins the sweep parameters that determine per-record simulation
 // results, the canonical task grid, and which shard of it this checkpoint
@@ -46,14 +49,17 @@ type Meta struct {
 	ConfigTag        string  `json:"config_tag,omitempty"`
 	ShardIndex       int     `json:"shard_index"`
 	ShardCount       int     `json:"shard_count"`
-	// Configs, Kernels, Mappers and Scheds are the comma-joined axes of
-	// the canonical task grid, in grid order. They let Merge reconstruct
-	// the full task list (and verify shard coverage) from shard files
-	// alone.
-	Configs string `json:"configs"`
-	Kernels string `json:"kernels"`
-	Mappers string `json:"mappers"`
-	Scheds  string `json:"scheds"`
+	// Configs, Kernels, Mappers, Scheds, MSHRs, L1Geoms and Prefetch are
+	// the comma-joined axes of the canonical task grid, in grid order. They
+	// let Merge reconstruct the full task list (and verify shard coverage)
+	// from shard files alone.
+	Configs  string `json:"configs"`
+	Kernels  string `json:"kernels"`
+	Mappers  string `json:"mappers"`
+	Scheds   string `json:"scheds"`
+	MSHRs    string `json:"mshrs"`
+	L1Geoms  string `json:"l1_geoms"`
+	Prefetch string `json:"prefetch"`
 }
 
 // MetaFor computes the campaign identity of opts (after defaulting). It is
@@ -73,6 +79,14 @@ func MetaFor(opts Options) Meta {
 	for i, p := range opts.Scheds {
 		scheds[i] = p.String()
 	}
+	mshrs := make([]string, len(opts.MSHRs))
+	for i, n := range opts.MSHRs {
+		mshrs[i] = strconv.Itoa(n)
+	}
+	prefetch := make([]string, len(opts.Prefetch))
+	for i, p := range opts.Prefetch {
+		prefetch[i] = p.String()
+	}
 	count := opts.ShardCount
 	if count < 1 {
 		count = 1
@@ -91,20 +105,23 @@ func MetaFor(opts Options) Meta {
 		Kernels:          strings.Join(opts.Kernels, ","),
 		Mappers:          strings.Join(mappers, ","),
 		Scheds:           strings.Join(scheds, ","),
+		MSHRs:            strings.Join(mshrs, ","),
+		L1Geoms:          strings.Join(opts.L1Geoms, ","),
+		Prefetch:         strings.Join(prefetch, ","),
 	}
 }
 
 // taskKey is the single definition of a task's identity string; the resume
 // splice, Record.Key and Merge's grid reconstruction must all agree on it.
-func taskKey(config, kernel, mapper, sched string) string {
-	return config + "/" + kernel + "/" + mapper + "/" + sched
+func taskKey(config, kernel, mapper, sched, mshrs, l1, prefetch string) string {
+	return config + "/" + kernel + "/" + mapper + "/" + sched + "/" + mshrs + "/" + l1 + "/" + prefetch
 }
 
-// Key identifies the record's task: one (config, kernel, mapper, sched)
-// cell of the campaign grid. Resume skips tasks whose key is already
-// checkpointed.
+// Key identifies the record's task: one (config, kernel, mapper, sched,
+// mshrs, l1, prefetch) cell of the campaign grid. Resume skips tasks whose
+// key is already checkpointed.
 func (r Record) Key() string {
-	return taskKey(r.Config.Name(), r.Kernel, r.Mapper, r.Sched)
+	return taskKey(r.Config.Name(), r.Kernel, r.Mapper, r.Sched, strconv.Itoa(r.MSHRs), r.L1, r.Prefetch)
 }
 
 // ReadCheckpoint parses a JSONL checkpoint stream into its meta header (nil
@@ -134,7 +151,7 @@ func ReadCheckpoint(rd io.Reader) (*Meta, map[string]Record, error) {
 				var m Meta
 				if err := json.Unmarshal(line, &m); err == nil && m.Version > 0 {
 					if m.Version != checkpointVersion {
-						return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported (this build reads v%d; v2 files predate the warp-scheduler grid axis and carry no per-record policy, so they cannot be spliced — re-run the campaign)",
+						return nil, nil, fmt.Errorf("sweep: checkpoint version %d not supported (this build reads v%d; v3 files predate the memory-side grid axes — MSHRs, L1 geometry, prefetch — and carry no per-record values for them, so they cannot be spliced — re-run the campaign)",
 							m.Version, checkpointVersion)
 					}
 					meta = &m

@@ -12,7 +12,7 @@ import (
 
 // WriteCSV dumps every record.
 func (r *Results) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "config,cores,warps,threads,kernel,mapper,sched,lws,cycles,instrs,mem_stall,exec_stall,energy_pj,boundedness,err"); err != nil {
+	if _, err := fmt.Fprintln(w, "config,cores,warps,threads,kernel,mapper,sched,mshrs,l1,prefetch,lws,cycles,instrs,mem_stall,exec_stall,energy_pj,boundedness,err"); err != nil {
 		return err
 	}
 	for _, rec := range r.Records {
@@ -20,9 +20,9 @@ func (r *Results) WriteCSV(w io.Writer) error {
 		// is the last column (ReadCSV rejoins it), but a newline would split
 		// the row, so flatten it.
 		errStr := strings.ReplaceAll(strings.ReplaceAll(rec.Err, "\r", " "), "\n", " ")
-		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%s,%s,%s,%d,%d,%d,%d,%d,%.0f,%s,%s\n",
+		_, err := fmt.Fprintf(w, "%s,%d,%d,%d,%s,%s,%s,%d,%s,%s,%d,%d,%d,%d,%d,%.0f,%s,%s\n",
 			rec.Config.Name(), rec.Config.Cores, rec.Config.Warps, rec.Config.Threads,
-			rec.Kernel, rec.Mapper, rec.Sched, rec.LWS, rec.Cycles, rec.Instrs,
+			rec.Kernel, rec.Mapper, rec.Sched, rec.MSHRs, rec.L1, rec.Prefetch, rec.LWS, rec.Cycles, rec.Instrs,
 			rec.MemStall, rec.ExecStall, rec.EnergyPJ, rec.Boundedness, errStr)
 		if err != nil {
 			return err
@@ -33,8 +33,9 @@ func (r *Results) WriteCSV(w io.Writer) error {
 
 // ReadCSV parses records previously written by WriteCSV, so committed
 // sweep results can be re-analyzed and re-plotted without re-simulating.
-// It accepts both current files and older ones without the energy or
-// sched columns (records from the latter come back with an empty Sched).
+// It accepts both current files and older ones without the energy, sched
+// or memory-axis columns (records from the latter come back with an empty
+// Sched/L1/Prefetch and MSHRs zero).
 func ReadCSV(r io.Reader) (*Results, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
@@ -81,11 +82,18 @@ func ReadCSV(r io.Reader) (*Results, error) {
 			return nil, fmt.Errorf("sweep: line %d: %w", lineNo, err)
 		}
 		rec := Record{
-			Config: hw,
-			Kernel: get("kernel"),
-			Mapper: get("mapper"),
-			Sched:  get("sched"),
-			Err:    get("err"),
+			Config:   hw,
+			Kernel:   get("kernel"),
+			Mapper:   get("mapper"),
+			Sched:    get("sched"),
+			L1:       get("l1"),
+			Prefetch: get("prefetch"),
+			Err:      get("err"),
+		}
+		if v := get("mshrs"); v != "" {
+			if rec.MSHRs, err = strconv.Atoi(v); err != nil {
+				return nil, fmt.Errorf("sweep: line %d: mshrs: %w", lineNo, err)
+			}
 		}
 		if rec.LWS, err = strconv.Atoi(get("lws")); err != nil {
 			return nil, fmt.Errorf("sweep: line %d: lws: %w", lineNo, err)

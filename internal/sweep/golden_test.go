@@ -48,6 +48,9 @@ func goldenResults() *Results {
 					Kernel:   k,
 					Mapper:   m,
 					Sched:    "rr",
+					MSHRs:    4,
+					L1:       "16k4w",
+					Prefetch: "off",
 					LWS:      1 + mi*31,
 					Cycles:   cycles,
 					Instrs:   base / 10,
@@ -135,6 +138,7 @@ func TestGoldenCSV(t *testing.T) {
 	for i := range res.Records {
 		a, b := res.Records[i], back.Records[i]
 		if a.Config != b.Config || a.Kernel != b.Kernel || a.Mapper != b.Mapper ||
+			a.MSHRs != b.MSHRs || a.L1 != b.L1 || a.Prefetch != b.Prefetch ||
 			a.LWS != b.LWS || a.Cycles != b.Cycles || a.Instrs != b.Instrs ||
 			a.MemStall != b.MemStall || a.ExecStall != b.ExecStall ||
 			a.Boundedness != b.Boundedness || a.Err != b.Err {

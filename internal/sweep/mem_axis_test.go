@@ -1,0 +1,325 @@
+package sweep
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mem"
+	"repro/internal/sim"
+)
+
+// Sweep-level half of the memory-axis harness: MSHR bound, L1 geometry and
+// prefetch policy as grid axes (canonical order, per-point record
+// identity, checkpoint/shard/merge round trips, template refusals, and the
+// v3 checkpoint version guard). The bare-sim and kernel-level halves live
+// in internal/sim/memaxis_test.go and memaxis_matrix_test.go.
+
+func memCampaignOpts() Options {
+	return Options{
+		Configs: []core.HWInfo{
+			{Cores: 1, Warps: 2, Threads: 2},
+			{Cores: 2, Warps: 4, Threads: 4},
+		},
+		Kernels:  []string{"vecadd"},
+		MSHRs:    []int{0, 4},
+		L1Geoms:  []string{mem.DefaultL1Geometry(), "8k2w"},
+		Prefetch: []mem.PrefetchPolicy{mem.PrefetchOff, mem.PrefetchNextLine},
+		Scale:    0.05,
+		Seed:     7,
+		Workers:  2,
+	}
+}
+
+// TestSweepMemAxes pins the memory-axis semantics: the grid nests mshrs,
+// then l1, then prefetch innermost after the scheduler; every record names
+// its memory point; and the per-value record slices are byte-identical to
+// a campaign that swept only that value (each axis composes, it does not
+// perturb).
+func TestSweepMemAxes(t *testing.T) {
+	res, err := Run(memCampaignOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := memCampaignOpts()
+	nm, nl, np := len(opts.MSHRs), len(opts.L1Geoms), len(opts.Prefetch)
+	want := len(opts.Configs) * len(opts.Kernels) * 3 * nm * nl * np
+	if len(res.Records) != want {
+		t.Fatalf("swept %d records, want %d", len(res.Records), want)
+	}
+	for i, rec := range res.Records {
+		wantPf := opts.Prefetch[i%np]
+		wantL1 := opts.L1Geoms[(i/np)%nl]
+		wantMS := opts.MSHRs[(i/(np*nl))%nm]
+		if rec.Prefetch != wantPf.String() || rec.L1 != wantL1 || rec.MSHRs != wantMS {
+			t.Fatalf("record %d: memory point (%d, %s, %s), want (%d, %s, %s) (mshrs>l1>prefetch must nest innermost)",
+				i, rec.MSHRs, rec.L1, rec.Prefetch, wantMS, wantL1, wantPf)
+		}
+	}
+	for _, ms := range opts.MSHRs {
+		single := memCampaignOpts()
+		single.MSHRs = []int{ms}
+		sres, err := Run(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var subset []Record
+		for _, rec := range res.Records {
+			if rec.MSHRs == ms {
+				subset = append(subset, rec)
+			}
+		}
+		if !bytes.Equal(mustJSON(t, subset), mustJSON(t, sres.Records)) {
+			t.Errorf("mshrs=%d: records from the full sweep differ from a single-value sweep", ms)
+		}
+	}
+	for _, l1 := range opts.L1Geoms {
+		single := memCampaignOpts()
+		single.L1Geoms = []string{l1}
+		sres, err := Run(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var subset []Record
+		for _, rec := range res.Records {
+			if rec.L1 == l1 {
+				subset = append(subset, rec)
+			}
+		}
+		if !bytes.Equal(mustJSON(t, subset), mustJSON(t, sres.Records)) {
+			t.Errorf("l1=%s: records from the full sweep differ from a single-value sweep", l1)
+		}
+	}
+	for _, pf := range opts.Prefetch {
+		single := memCampaignOpts()
+		single.Prefetch = []mem.PrefetchPolicy{pf}
+		sres, err := Run(single)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var subset []Record
+		for _, rec := range res.Records {
+			if rec.Prefetch == pf.String() {
+				subset = append(subset, rec)
+			}
+		}
+		if !bytes.Equal(mustJSON(t, subset), mustJSON(t, sres.Records)) {
+			t.Errorf("prefetch=%s: records from the full sweep differ from a single-value sweep", pf)
+		}
+	}
+}
+
+// TestSweepMemDefaultPointIdentity is the sweep-record half of the
+// differential oracle: the all-defaults memory point of a three-axis sweep
+// is byte-identical to a campaign that never mentions the memory axes (the
+// pre-axis grid shape).
+func TestSweepMemDefaultPointIdentity(t *testing.T) {
+	full, err := Run(memCampaignOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := memCampaignOpts()
+	plain.MSHRs = nil
+	plain.L1Geoms = nil
+	plain.Prefetch = nil
+	oracle, err := Run(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var defaults []Record
+	for _, rec := range full.Records {
+		if rec.MSHRs == 0 && rec.L1 == mem.DefaultL1Geometry() && rec.Prefetch == mem.PrefetchOff.String() {
+			defaults = append(defaults, rec)
+		}
+	}
+	if !bytes.Equal(mustJSON(t, defaults), mustJSON(t, oracle.Records)) {
+		t.Fatal("all-defaults memory point not byte-identical to the axis-free campaign")
+	}
+}
+
+// TestShardMergeMemAxes runs the shard x merge contract over the 7-axis
+// grid: shards striding the memory grid merge back byte-identically to the
+// single-process run, a checkpointed resume splices every task, and a
+// duplicated entry on any memory axis is refused when checkpointing.
+func TestShardMergeMemAxes(t *testing.T) {
+	dir := t.TempDir()
+	ref, err := Run(memCampaignOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 3
+	paths := make([]string, shards)
+	for i := 0; i < shards; i++ {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i))
+		opts := memCampaignOpts()
+		opts.ShardIndex = i
+		opts.ShardCount = shards
+		opts.Checkpoint = paths[i]
+		if _, err := Run(opts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mergedPath := filepath.Join(dir, "merged.jsonl")
+	merged, err := Merge(mergedPath, paths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, ref.Records), mustJSON(t, merged.Records)) {
+		t.Fatal("memory-axis shard merge not byte-identical to the single-process run")
+	}
+
+	// Resume from the merged checkpoint: a full splice, nothing re-run.
+	res := memCampaignOpts()
+	res.Checkpoint = mergedPath
+	res.Resume = true
+	executed := 0
+	res.OnRecord = func(Record) { executed++ }
+	fromMerged, err := Run(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 0 || fromMerged.Cache.Resumed != len(ref.Records) {
+		t.Errorf("memory-axis resume ran %d tasks (resumed %d), want a full splice", executed, fromMerged.Cache.Resumed)
+	}
+
+	// A duplicated entry on any of the three axes aliases task keys and
+	// must be refused when checkpointing.
+	for name, mutate := range map[string]func(*Options){
+		"mshrs":    func(o *Options) { o.MSHRs = []int{4, 4} },
+		"l1":       func(o *Options) { o.L1Geoms = []string{"8k2w", "8k2w"} },
+		"prefetch": func(o *Options) { o.Prefetch = []mem.PrefetchPolicy{mem.PrefetchOff, mem.PrefetchOff} },
+	} {
+		dup := memCampaignOpts()
+		mutate(&dup)
+		dup.Checkpoint = filepath.Join(dir, "dup-"+name+".jsonl")
+		if _, err := Run(dup); err == nil {
+			t.Errorf("checkpointed sweep accepted a duplicated %s-axis entry", name)
+		}
+	}
+}
+
+// TestSweepRejectsTemplateMemKnobs pins that a ConfigTemplate setting any
+// memory-side knob the grid owns — MSHR capacity, L1 geometry, prefetch
+// policy — is refused loudly, naming the Options field to use, instead of
+// being silently overridden by the axis.
+func TestSweepRejectsTemplateMemKnobs(t *testing.T) {
+	cases := []struct {
+		name  string
+		set   func(*sim.Config)
+		wants string
+	}{
+		{"mshrs", func(c *sim.Config) { c.Mem.L1.MSHRs = 4; c.Mem.L2.MSHRs = 4 }, "Options.MSHRs"},
+		{"l1-geometry", func(c *sim.Config) { c.Mem.L1.SizeBytes = 8 << 10; c.Mem.L1.Ways = 2 }, "Options.L1Geoms"},
+		{"prefetch", func(c *sim.Config) { c.Mem.Prefetch = mem.PrefetchNextLine }, "Options.Prefetch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := memCampaignOpts()
+			opts.MSHRs, opts.L1Geoms, opts.Prefetch = nil, nil, nil
+			opts.ConfigTemplate = func(hw core.HWInfo) sim.Config {
+				cfg := sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
+				tc.set(&cfg)
+				return cfg
+			}
+			_, err := Run(opts)
+			if err == nil || !strings.Contains(err.Error(), tc.wants) {
+				t.Errorf("template-set %s: err = %v, want the %s refusal", tc.name, err, tc.wants)
+			}
+		})
+	}
+}
+
+// TestSweepRejectsBadMemAxisValues pins the Options-boundary validation of
+// the three axes: negative or duplicated MSHR bounds, malformed or
+// duplicated geometry specs, and duplicated prefetch policies are refused
+// before any task runs.
+func TestSweepRejectsBadMemAxisValues(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+		wants  string
+	}{
+		{"negative mshrs", func(o *Options) { o.MSHRs = []int{-1} }, "negative MSHR"},
+		{"dup mshrs", func(o *Options) { o.MSHRs = []int{4, 4} }, "duplicate MSHR"},
+		{"bad l1 spec", func(o *Options) { o.L1Geoms = []string{"16kb4"} }, "l1 axis"},
+		{"unrealizable l1", func(o *Options) { o.L1Geoms = []string{"3k4w"} }, "l1 axis"},
+		{"dup l1", func(o *Options) { o.L1Geoms = []string{"8k2w", "8k2w"} }, "duplicate L1 geometry"},
+		{"dup prefetch", func(o *Options) { o.Prefetch = []mem.PrefetchPolicy{mem.PrefetchOff, mem.PrefetchOff} }, "duplicate prefetch"},
+		{"unknown prefetch", func(o *Options) { o.Prefetch = []mem.PrefetchPolicy{mem.PrefetchPolicy(9)} }, "prefetch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := memCampaignOpts()
+			tc.mutate(&opts)
+			_, err := Run(opts)
+			if err == nil || !strings.Contains(err.Error(), tc.wants) {
+				t.Errorf("%s: err = %v, want a refusal mentioning %q", tc.name, err, tc.wants)
+			}
+		})
+	}
+}
+
+// TestSweepResumeRejectsV3Checkpoint pins the version guard: a v3
+// checkpoint (pre-memory-axes) carries no per-record MSHR/L1/prefetch
+// identity and is refused with the version diagnostic instead of being
+// spliced into a grid it cannot address.
+func TestSweepResumeRejectsV3Checkpoint(t *testing.T) {
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "old.jsonl")
+	opts := memCampaignOpts()
+	opts.fill()
+	meta := MetaFor(opts)
+	meta.Version = 3
+	meta.MSHRs, meta.L1Geoms, meta.Prefetch = "", "", ""
+	var buf bytes.Buffer
+	buf.Write(append(mustJSON(t, meta), '\n'))
+	if err := os.WriteFile(ckpt, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := memCampaignOpts()
+	res.Checkpoint = ckpt
+	res.Resume = true
+	_, err := Run(res)
+	if err == nil || !strings.Contains(err.Error(), "version 3 not supported") {
+		t.Errorf("resume of a v3 checkpoint: err = %v, want the version diagnostic", err)
+	}
+}
+
+// TestMemAxisMetaAndKeys pins the checkpoint identity plumbing: MetaFor
+// carries the joined memory axes, and Record.Key addresses all seven grid
+// axes so distinct memory points never alias.
+func TestMemAxisMetaAndKeys(t *testing.T) {
+	meta := MetaFor(memCampaignOpts())
+	if meta.Version != checkpointVersion {
+		t.Errorf("meta version = %d, want %d", meta.Version, checkpointVersion)
+	}
+	if meta.MSHRs != "0,4" {
+		t.Errorf("meta mshrs = %q, want \"0,4\"", meta.MSHRs)
+	}
+	if meta.L1Geoms != mem.DefaultL1Geometry()+",8k2w" {
+		t.Errorf("meta l1_geoms = %q", meta.L1Geoms)
+	}
+	if meta.Prefetch != "off,nextline" {
+		t.Errorf("meta prefetch = %q", meta.Prefetch)
+	}
+	a := Record{Config: core.HWInfo{Cores: 1, Warps: 2, Threads: 2}, Kernel: "vecadd",
+		Mapper: "ours", Sched: "rr", MSHRs: 0, L1: "16k4w", Prefetch: "off"}
+	b := a
+	b.MSHRs = 4
+	c := a
+	c.L1 = "8k2w"
+	d := a
+	d.Prefetch = "nextline"
+	keys := map[string]bool{a.Key(): true, b.Key(): true, c.Key(): true, d.Key(): true}
+	if len(keys) != 4 {
+		t.Errorf("memory points alias task keys: %v", keys)
+	}
+	if got := strings.Count(a.Key(), "/"); got != 6 {
+		t.Errorf("task key %q has %d separators, want 6 (seven axes)", a.Key(), got)
+	}
+}

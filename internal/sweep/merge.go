@@ -4,9 +4,11 @@ import (
 	"bufio"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/mem"
 	"repro/internal/sim"
 )
 
@@ -59,6 +61,13 @@ func Merge(out string, paths []string) (*Results, error) {
 			return nil, fmt.Errorf("sweep: merge: mixed-sched shard set: %s sweeps schedulers %q but %s sweeps %q",
 				paths[0], base.Scheds, paths[i], m.Scheds)
 		}
+		if m.MSHRs != base.MSHRs || m.L1Geoms != base.L1Geoms || m.Prefetch != base.Prefetch {
+			// Like the scheduler, the memory axes get a named diagnostic:
+			// mixing shards that swept different memory grids is the likely
+			// mistake now that they are part of the task identity.
+			return nil, fmt.Errorf("sweep: merge: mixed memory-axis shard set: %s sweeps mshrs=%q l1=%q prefetch=%q but %s sweeps mshrs=%q l1=%q prefetch=%q",
+				paths[0], base.MSHRs, base.L1Geoms, base.Prefetch, paths[i], m.MSHRs, m.L1Geoms, m.Prefetch)
+		}
 		if m != base {
 			return nil, fmt.Errorf("sweep: merge: meta mismatch: %s and %s were written with different sweep options",
 				paths[0], paths[i])
@@ -91,7 +100,11 @@ func Merge(out string, paths []string) (*Results, error) {
 	kernels := splitAxis(base.Kernels)
 	mappers := splitAxis(base.Mappers)
 	scheds := splitAxis(base.Scheds)
-	if len(configs) == 0 || len(kernels) == 0 || len(mappers) == 0 || len(scheds) == 0 {
+	mshrs := splitAxis(base.MSHRs)
+	l1s := splitAxis(base.L1Geoms)
+	prefetch := splitAxis(base.Prefetch)
+	if len(configs) == 0 || len(kernels) == 0 || len(mappers) == 0 || len(scheds) == 0 ||
+		len(mshrs) == 0 || len(l1s) == 0 || len(prefetch) == 0 {
 		return nil, fmt.Errorf("sweep: merge: %s: meta does not describe a task grid", paths[0])
 	}
 	// A repeated scheduler gets its own diagnostic (mirroring Options
@@ -101,22 +114,28 @@ func Merge(out string, paths []string) (*Results, error) {
 	if dup := firstDuplicate(scheds); dup != "" {
 		return nil, fmt.Errorf("sweep: merge: %s: duplicate scheduler %s on the campaign sched axis", paths[0], dup)
 	}
-	size := len(configs) * len(kernels) * len(mappers) * len(scheds)
+	size := len(configs) * len(kernels) * len(mappers) * len(scheds) * len(mshrs) * len(l1s) * len(prefetch)
 	keyIdx := make(map[string]int, size)
 	keys := make([]string, 0, size)
 	for _, c := range configs {
 		for _, k := range kernels {
 			for _, m := range mappers {
 				for _, s := range scheds {
-					key := taskKey(c, k, m, s)
-					if _, dup := keyIdx[key]; dup {
-						// Run refuses to checkpoint such a grid; a meta claiming
-						// one is hand-edited, and shard membership would be
-						// ambiguous.
-						return nil, fmt.Errorf("sweep: merge: %s: duplicate task %s in the campaign grid", paths[0], key)
+					for _, ms := range mshrs {
+						for _, l1 := range l1s {
+							for _, pf := range prefetch {
+								key := taskKey(c, k, m, s, ms, l1, pf)
+								if _, dup := keyIdx[key]; dup {
+									// Run refuses to checkpoint such a grid; a meta claiming
+									// one is hand-edited, and shard membership would be
+									// ambiguous.
+									return nil, fmt.Errorf("sweep: merge: %s: duplicate task %s in the campaign grid", paths[0], key)
+								}
+								keyIdx[key] = len(keys)
+								keys = append(keys, key)
+							}
+						}
 					}
-					keyIdx[key] = len(keys)
-					keys = append(keys, key)
 				}
 			}
 		}
@@ -156,7 +175,7 @@ func Merge(out string, paths []string) (*Results, error) {
 	for gi, rec := range merged {
 		res.Records[gi] = *rec
 	}
-	res.Options = optionsFromMeta(base, configs, kernels, scheds)
+	res.Options = optionsFromMeta(base, configs, kernels, scheds, mshrs, l1s, prefetch)
 	if out != "" {
 		if err := WriteCheckpoint(out, base, res.Records); err != nil {
 			return nil, fmt.Errorf("sweep: merge: %w", err)
@@ -189,11 +208,12 @@ func splitAxis(s string) []string {
 // optionsFromMeta reconstructs the sweep parameters recorded in a merged
 // checkpoint meta, for reporting. Mappers are left nil: mapper objects
 // cannot be rebuilt from their names, and the render paths only read
-// Records. Unparseable config or scheduler names are skipped (they cannot
-// occur in a meta Run wrote).
-func optionsFromMeta(m Meta, configs, kernels, scheds []string) Options {
+// Records. Unparseable config, scheduler, MSHR or prefetch names are
+// skipped (they cannot occur in a meta Run wrote).
+func optionsFromMeta(m Meta, configs, kernels, scheds, mshrs, l1s, prefetch []string) Options {
 	opts := Options{
 		Kernels:          kernels,
+		L1Geoms:          l1s,
 		Scale:            m.Scale,
 		Seed:             m.Seed,
 		Verify:           m.Verify,
@@ -209,6 +229,16 @@ func optionsFromMeta(m Meta, configs, kernels, scheds []string) Options {
 	for _, name := range scheds {
 		if p, err := sim.ParseSchedPolicy(name); err == nil {
 			opts.Scheds = append(opts.Scheds, p)
+		}
+	}
+	for _, name := range mshrs {
+		if n, err := strconv.Atoi(name); err == nil {
+			opts.MSHRs = append(opts.MSHRs, n)
+		}
+	}
+	for _, name := range prefetch {
+		if p, err := mem.ParsePrefetchPolicy(name); err == nil {
+			opts.Prefetch = append(opts.Prefetch, p)
 		}
 	}
 	return opts

@@ -280,6 +280,7 @@ func shardRecords(opts Options, shard int) []Record {
 					if idx%2 == shard {
 						recs = append(recs, Record{
 							Config: hw, Kernel: k, Mapper: m.Name(), Sched: p.String(),
+							MSHRs: opts.MSHRs[0], L1: opts.L1Geoms[0], Prefetch: opts.Prefetch[0].String(),
 							LWS: 1, Cycles: uint64(1000 + idx), Instrs: uint64(100 + idx),
 						})
 					}

@@ -108,6 +108,7 @@ func leaseTasks(t *testing.T, s *Server, worker string, max int, meta sweep.Meta
 func fabricate(task sweep.Task, cycles uint64) sweep.Record {
 	return sweep.Record{
 		Config: task.Config, Kernel: task.Kernel, Mapper: task.Mapper.Name(), Sched: task.Sched.String(),
+		MSHRs: task.MSHRs, L1: task.L1, Prefetch: task.Prefetch.String(),
 		LWS: 1, Cycles: cycles, Instrs: 10,
 	}
 }

@@ -10,10 +10,12 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 
 	"repro/internal/core"
 	"repro/internal/kernels"
+	"repro/internal/mem"
 	"repro/internal/ocl"
 	"repro/internal/sim"
 )
@@ -72,6 +74,20 @@ type Options struct {
 	// policies on this axis instead; the checkpoint meta records and
 	// validates them, which it could not do for a template's choice).
 	Scheds []sim.SchedPolicy
+	// MSHRs is the miss-status-holding-register grid axis: each value bounds
+	// the outstanding L1 misses per core (and L2 misses per bank) of a
+	// task's device. It defaults to {0} — the unbounded pre-MSHR model, which
+	// is the differential oracle. Like the scheduler, the knob is axis-owned:
+	// a ConfigTemplate that sets it is refused, so the checkpoint meta can
+	// validate the swept values on resume/merge.
+	MSHRs []int
+	// L1Geoms is the L1 geometry grid axis, each entry a compact spec in the
+	// grammar of mem.ParseL1Geometry ("16k4w" = 16 KiB, 4-way). It defaults
+	// to the simulator default geometry. Axis-owned like MSHRs.
+	L1Geoms []string
+	// Prefetch is the L1 prefetcher grid axis; it defaults to
+	// {mem.PrefetchOff}, the pre-prefetch model. Axis-owned like MSHRs.
+	Prefetch []mem.PrefetchPolicy
 	// Scale is the workload scale factor (1.0 = paper sizes).
 	Scale float64
 	// Seed drives input generation (shared by all runs of a kernel so
@@ -135,8 +151,8 @@ type Options struct {
 	// (in completion order, serialized by the runner). Resumed records are
 	// not replayed through OnRecord.
 	OnRecord func(Record)
-	// ShardIndex/ShardCount partition the canonical (config, kernel,
-	// mapper) task grid across independent processes: the run executes
+	// ShardIndex/ShardCount partition the canonical task grid across
+	// independent processes: the run executes
 	// only tasks whose canonical grid index is congruent to ShardIndex
 	// modulo ShardCount. The stride interleaves shards over the grid's
 	// config-major order, so every shard sees the same mix of cheap and
@@ -160,6 +176,15 @@ func (o *Options) fill() {
 	}
 	if len(o.Scheds) == 0 {
 		o.Scheds = []sim.SchedPolicy{sim.SchedRoundRobin}
+	}
+	if len(o.MSHRs) == 0 {
+		o.MSHRs = []int{0}
+	}
+	if len(o.L1Geoms) == 0 {
+		o.L1Geoms = []string{mem.DefaultL1Geometry()}
+	}
+	if len(o.Prefetch) == 0 {
+		o.Prefetch = []mem.PrefetchPolicy{mem.PrefetchOff}
 	}
 	if o.Scale == 0 {
 		o.Scale = 1
@@ -209,14 +234,47 @@ func (o *Options) validate() error {
 		}
 		seen[p] = true
 	}
+	// The memory-side axes hold the same bargain as the scheduler: small
+	// enumerable policy axes whose duplicates could only alias task keys,
+	// refused on every path.
+	seenM := map[int]bool{}
+	for _, n := range o.MSHRs {
+		if n < 0 {
+			return fmt.Errorf("sweep: negative MSHR count %d on the mshrs axis", n)
+		}
+		if seenM[n] {
+			return fmt.Errorf("sweep: duplicate MSHR count %d on the mshrs axis", n)
+		}
+		seenM[n] = true
+	}
+	seenG := map[string]bool{}
+	for _, g := range o.L1Geoms {
+		if _, _, err := mem.ParseL1Geometry(g); err != nil {
+			return fmt.Errorf("sweep: l1 axis: %w", err)
+		}
+		if seenG[g] {
+			return fmt.Errorf("sweep: duplicate L1 geometry %s on the l1 axis", g)
+		}
+		seenG[g] = true
+	}
+	seenP := map[mem.PrefetchPolicy]bool{}
+	for _, p := range o.Prefetch {
+		if _, err := mem.ParsePrefetchPolicy(p.String()); err != nil {
+			return err
+		}
+		if seenP[p] {
+			return fmt.Errorf("sweep: duplicate prefetch policy %s on the prefetch axis", p)
+		}
+		seenP[p] = true
+	}
 	return nil
 }
 
 // duplicateAxisEntry returns the name of the first repeated entry on any
 // grid axis (a task key is duplicated exactly when an axis value is), or
-// "" when all four axes are duplicate-free.
+// "" when all seven axes are duplicate-free.
 func duplicateAxisEntry(opts Options) string {
-	axes := [][]string{nil, opts.Kernels, nil, nil}
+	axes := [][]string{nil, opts.Kernels, nil, nil, nil, opts.L1Geoms, nil}
 	for _, hw := range opts.Configs {
 		axes[0] = append(axes[0], hw.Name())
 	}
@@ -225,6 +283,12 @@ func duplicateAxisEntry(opts Options) string {
 	}
 	for _, p := range opts.Scheds {
 		axes[3] = append(axes[3], p.String())
+	}
+	for _, n := range opts.MSHRs {
+		axes[4] = append(axes[4], strconv.Itoa(n))
+	}
+	for _, p := range opts.Prefetch {
+		axes[6] = append(axes[6], p.String())
 	}
 	for _, axis := range axes {
 		seen := map[string]bool{}
@@ -239,35 +303,49 @@ func duplicateAxisEntry(opts Options) string {
 }
 
 // Task is one cell of the canonical campaign grid: the (config, kernel,
-// mapper, sched) tuple a single simulation runs, plus its canonical grid
-// index. The campaign service hands out tasks by index; both sides
-// enumerate the same grid (validated by Meta equality), so indices — not
-// mapper objects, which do not serialize — cross the wire.
+// mapper, sched, mshrs, l1, prefetch) tuple a single simulation runs, plus
+// its canonical grid index. The campaign service hands out tasks by index;
+// both sides enumerate the same grid (validated by Meta equality), so
+// indices — not mapper objects, which do not serialize — cross the wire.
 type Task struct {
-	Index  int // position in the canonical grid (config-major, sched innermost)
-	Config core.HWInfo
-	Kernel string
-	Mapper core.Mapper
-	Sched  sim.SchedPolicy
+	Index    int // position in the canonical grid (config-major, memory axes innermost)
+	Config   core.HWInfo
+	Kernel   string
+	Mapper   core.Mapper
+	Sched    sim.SchedPolicy
+	MSHRs    int    // outstanding-miss bound per L1 and per L2 bank (0 = unbounded)
+	L1       string // L1 geometry spec ("16k4w")
+	Prefetch mem.PrefetchPolicy
 }
 
 // Key is the task's identity string; it matches Record.Key for the record
 // the task produces.
 func (t Task) Key() string {
-	return taskKey(t.Config.Name(), t.Kernel, t.Mapper.Name(), t.Sched.String())
+	return taskKey(t.Config.Name(), t.Kernel, t.Mapper.Name(), t.Sched.String(),
+		strconv.Itoa(t.MSHRs), t.L1, t.Prefetch.String())
 }
 
 // enumerateTasks lists the canonical task grid of filled options, in
-// canonical order: config-major, then kernel, mapper, and the scheduler
-// axis innermost. Every keyed consumer (Run's shard slice, Merge's grid
-// reconstruction, the campaign service) must agree with this order.
+// canonical order: config-major, then kernel, mapper, sched, and the
+// memory-side axes (mshrs, l1, prefetch) innermost. Every keyed consumer
+// (Run's shard slice, Merge's grid reconstruction, the campaign service)
+// must agree with this order.
 func enumerateTasks(opts Options) []Task {
-	out := make([]Task, 0, len(opts.Configs)*len(opts.Kernels)*len(opts.Mappers)*len(opts.Scheds))
+	n := len(opts.Configs) * len(opts.Kernels) * len(opts.Mappers) * len(opts.Scheds) *
+		len(opts.MSHRs) * len(opts.L1Geoms) * len(opts.Prefetch)
+	out := make([]Task, 0, n)
 	for _, hw := range opts.Configs {
 		for _, kname := range opts.Kernels {
 			for _, m := range opts.Mappers {
 				for _, sched := range opts.Scheds {
-					out = append(out, Task{Index: len(out), Config: hw, Kernel: kname, Mapper: m, Sched: sched})
+					for _, mshrs := range opts.MSHRs {
+						for _, l1 := range opts.L1Geoms {
+							for _, pf := range opts.Prefetch {
+								out = append(out, Task{Index: len(out), Config: hw, Kernel: kname,
+									Mapper: m, Sched: sched, MSHRs: mshrs, L1: l1, Prefetch: pf})
+							}
+						}
+					}
 				}
 			}
 		}
@@ -297,15 +375,19 @@ func TaskGrid(opts Options) ([]Task, error) {
 // a panic, so a fleet worker survives any single task.
 func RunTask(opts Options, pool *ocl.DevicePool, t Task) Record {
 	opts.fill()
-	return runOne(opts, pool, t.Config, t.Kernel, t.Mapper, t.Sched)
+	return runOne(opts, pool, t)
 }
 
-// Record is one (config, kernel, mapper, sched) simulation outcome.
+// Record is one (config, kernel, mapper, sched, mshrs, l1, prefetch)
+// simulation outcome.
 type Record struct {
 	Config      core.HWInfo
 	Kernel      string
 	Mapper      string
 	Sched       string // warp-scheduler policy name (sim.SchedPolicy.String)
+	MSHRs       int    // outstanding-miss bound per L1 and per L2 bank (0 = unbounded)
+	L1          string // L1 geometry spec ("16k4w")
+	Prefetch    string // L1 prefetch policy name (mem.PrefetchPolicy.String)
 	LWS         int    // of the first launch
 	Cycles      uint64
 	Instrs      uint64
@@ -359,8 +441,8 @@ func Run(opts Options) (*Results, error) {
 		return nil, fmt.Errorf("sweep: shard index %d out of range for %d shards", opts.ShardIndex, opts.ShardCount)
 	}
 	if opts.ShardCount > 1 || opts.Checkpoint != "" {
-		// Sharding and checkpointing identify tasks by their (config,
-		// kernel, mapper, sched) key; a duplicated grid entry would alias
+		// Sharding and checkpointing identify tasks by their task key; a
+		// duplicated grid entry would alias
 		// two tasks onto one key and silently mis-splice on resume or merge.
 		if dup := duplicateAxisEntry(opts); dup != "" {
 			return nil, fmt.Errorf("sweep: duplicate grid entry %s: sharding/checkpointing requires unique task keys", dup)
@@ -429,7 +511,7 @@ func Run(opts Options) (*Results, error) {
 		go func() {
 			defer wg.Done()
 			for tk := range ch {
-				rec := runOne(opts, pool, tk.Config, tk.Kernel, tk.Mapper, tk.Sched)
+				rec := runOne(opts, pool, tk.Task)
 				records[tk.slot] = rec
 				mu.Lock()
 				if ckpt != nil && rec.Err == "" {
@@ -484,9 +566,11 @@ func Run(opts Options) (*Results, error) {
 	return res, nil
 }
 
-func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, mapper core.Mapper, sched sim.SchedPolicy) Record {
-	rec := Record{Config: hw, Kernel: kname, Mapper: mapper.Name(), Sched: sched.String()}
-	spec, err := kernels.ByName(kname)
+func runOne(opts Options, pool *ocl.DevicePool, t Task) Record {
+	hw := t.Config
+	rec := Record{Config: hw, Kernel: t.Kernel, Mapper: t.Mapper.Name(), Sched: t.Sched.String(),
+		MSHRs: t.MSHRs, L1: t.L1, Prefetch: t.Prefetch.String()}
+	spec, err := kernels.ByName(t.Kernel)
 	if err != nil {
 		rec.Err = err.Error()
 		return rec
@@ -503,10 +587,34 @@ func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, ma
 			rec.Err = fmt.Sprintf("ConfigTemplate sets the warp scheduler (%s); the scheduler is a grid axis — use Options.Scheds", cfg.Sched)
 			return rec
 		}
+		// The memory-side knobs are axis-owned for the same reason.
+		if cfg.Mem.L1.MSHRs != 0 || cfg.Mem.L2.MSHRs != 0 {
+			rec.Err = fmt.Sprintf("ConfigTemplate sets MSHR capacity (L1 %d, L2 %d); MSHRs are a grid axis — use Options.MSHRs",
+				cfg.Mem.L1.MSHRs, cfg.Mem.L2.MSHRs)
+			return rec
+		}
+		if def := mem.DefaultHierarchyConfig().L1; cfg.Mem.L1.SizeBytes != def.SizeBytes || cfg.Mem.L1.Ways != def.Ways {
+			rec.Err = fmt.Sprintf("ConfigTemplate sets the L1 geometry (%s); the geometry is a grid axis — use Options.L1Geoms",
+				mem.FormatL1Geometry(cfg.Mem.L1.SizeBytes, cfg.Mem.L1.Ways))
+			return rec
+		}
+		if cfg.Mem.Prefetch != mem.PrefetchOff {
+			rec.Err = fmt.Sprintf("ConfigTemplate sets the prefetch policy (%s); prefetch is a grid axis — use Options.Prefetch", cfg.Mem.Prefetch)
+			return rec
+		}
 	} else {
 		cfg = sim.DefaultConfig(hw.Cores, hw.Warps, hw.Threads)
 	}
-	cfg.Sched = sched
+	cfg.Sched = t.Sched
+	cfg.Mem.L1.MSHRs = t.MSHRs
+	cfg.Mem.L2.MSHRs = t.MSHRs
+	size, ways, gerr := mem.ParseL1Geometry(t.L1)
+	if gerr != nil {
+		rec.Err = gerr.Error()
+		return rec
+	}
+	cfg.Mem.L1.SizeBytes, cfg.Mem.L1.Ways = size, ways
+	cfg.Mem.Prefetch = t.Prefetch
 	// The sweep already task-parallelizes across runs; share the host CPUs
 	// between the two levels instead of oversubscribing (Options.SimWorkers).
 	cfg.Workers = opts.SimWorkers
@@ -529,7 +637,7 @@ func runOne(opts Options, pool *ocl.DevicePool, hw core.HWInfo, kname string, ma
 		d.DispatchOverhead = uint64(opts.DispatchOverhead)
 	}
 	d.Sim().NoCoalesce = opts.NoCoalesce
-	d.SetMapper(mapper)
+	d.SetMapper(t.Mapper)
 	c, err := spec.Build(d, kernels.Params{Scale: opts.Scale, Seed: opts.Seed})
 	if err != nil {
 		rec.Err = err.Error()

@@ -377,6 +377,62 @@ func TestCrossoverHP(t *testing.T) {
 	}
 }
 
+// TestCrossoverHPEdgeCases pins the boundary behavior of the crossover
+// scan: an empty curve, a curve where the baseline loses everywhere, a
+// curve that ends with the baseline winning (no stable crossover even
+// though it lost earlier), and a single-band curve on each side.
+func TestCrossoverHPEdgeCases(t *testing.T) {
+	add := func(res *Results, c, w, th int, mapper string, cycles uint64) {
+		res.Records = append(res.Records, Record{
+			Config: core.HWInfo{Cores: c, Warps: w, Threads: th},
+			Kernel: "k", Mapper: mapper, Cycles: cycles,
+		})
+	}
+
+	// Empty curve: unknown kernel/baseline, or no matching "ours" sample.
+	empty := &Results{}
+	if hp := empty.CrossoverHP("k", "lws=32"); hp != -1 {
+		t.Errorf("empty results: crossover = %d, want -1", hp)
+	}
+	noOurs := &Results{}
+	add(noOurs, 1, 2, 2, "lws=32", 90)
+	if hp := noOurs.CrossoverHP("k", "lws=32"); hp != -1 {
+		t.Errorf("baseline without ours samples: crossover = %d, want -1", hp)
+	}
+
+	// Every band >= 1: ours wins from the very first hp.
+	allWin := &Results{}
+	add(allWin, 1, 2, 2, "ours", 100)
+	add(allWin, 1, 2, 2, "lws=32", 100) // ratio exactly 1 counts as won
+	add(allWin, 2, 2, 4, "ours", 100)
+	add(allWin, 2, 2, 4, "lws=32", 250)
+	if hp := allWin.CrossoverHP("k", "lws=32"); hp != 4 {
+		t.Errorf("all-bands-won: crossover = %d, want 4 (the smallest hp)", hp)
+	}
+
+	// Last band < 1: the baseline wins again at the top of the grid, so
+	// there is no hp from which ours stays ahead — even though ours won a
+	// middle band.
+	regress := &Results{}
+	add(regress, 1, 2, 2, "ours", 100)
+	add(regress, 1, 2, 2, "lws=32", 90)
+	add(regress, 2, 2, 4, "ours", 100)
+	add(regress, 2, 2, 4, "lws=32", 150)
+	add(regress, 4, 4, 4, "ours", 100)
+	add(regress, 4, 4, 4, "lws=32", 80)
+	if hp := regress.CrossoverHP("k", "lws=32"); hp != -1 {
+		t.Errorf("regressing top band: crossover = %d, want -1", hp)
+	}
+
+	// Single band: whichever side of 1 it lands on decides alone.
+	oneWin := &Results{}
+	add(oneWin, 1, 2, 2, "ours", 100)
+	add(oneWin, 1, 2, 2, "lws=32", 110)
+	if hp := oneWin.CrossoverHP("k", "lws=32"); hp != 4 {
+		t.Errorf("single winning band: crossover = %d, want 4", hp)
+	}
+}
+
 func TestEnergyRatiosAndTable(t *testing.T) {
 	res := smallSweep(t, []string{"vecadd"})
 	for _, rec := range res.Records {
