@@ -109,6 +109,7 @@ type campaignFlags struct {
 	commitWorkers *int
 	tickEngine    *bool
 	batchExec     *bool
+	batchMem      *bool
 }
 
 func addCampaignFlags(fs *flag.FlagSet) *campaignFlags {
@@ -128,6 +129,7 @@ func addCampaignFlags(fs *flag.FlagSet) *campaignFlags {
 		commitWorkers: fs.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel per simulation (0 = follow -sim-workers, 1 = global commit)"),
 		tickEngine:    fs.Bool("tick-engine", false, "run every simulation on the legacy per-cycle tick loop instead of the event-driven device engine (identical records, differential oracle)"),
 		batchExec:     fs.Bool("batch-exec", true, "execute lockstep warp cohorts with fused batched kernels; false selects the per-warp oracle path (identical records)"),
+		batchMem:      fs.Bool("batch-mem", true, "batch loads/stores of lockstep cohorts through affine address templates; false selects the per-warp oracle path (identical records)"),
 	}
 }
 
@@ -241,6 +243,7 @@ func (cf *campaignFlags) options() (sweep.Options, error) {
 		CommitWorkers: *cf.commitWorkers,
 		TickEngine:    *cf.tickEngine,
 		NoBatchExec:   !*cf.batchExec,
+		NoBatchMem:    !*cf.batchMem,
 	}, nil
 }
 

@@ -44,9 +44,10 @@ func main() {
 	commitWorkers := flag.Int("commit-workers", 0, "commit-phase sharding per L2 bank/DRAM channel (0 = follow -workers, 1 = global single-threaded commit)")
 	tickEngine := flag.Bool("tick-engine", false, "probe on the legacy per-cycle tick loop instead of the event-driven device engine (identical results, differential oracle)")
 	batchExec := flag.Bool("batch-exec", true, "execute lockstep warp cohorts with fused batched kernels; false selects the per-warp oracle path (identical results)")
+	batchMem := flag.Bool("batch-mem", true, "batch loads/stores of lockstep cohorts through affine address templates; false selects the per-warp oracle path (identical results)")
 	flag.Parse()
 
-	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *mshrsCSV, *l1CSV, *prefetchCSV, *seed, *workers, *commitWorkers, *tickEngine, *batchExec); err != nil {
+	if err := run(*cfgName, *kernel, *scale, *strategy, *sched, *mshrsCSV, *l1CSV, *prefetchCSV, *seed, *workers, *commitWorkers, *tickEngine, *batchExec, *batchMem); err != nil {
 		fmt.Fprintln(os.Stderr, "vortex-tuner:", err)
 		os.Exit(1)
 	}
@@ -62,7 +63,7 @@ type axisPoint struct {
 	prefetch       mem.PrefetchPolicy
 }
 
-func run(cfgName, kernel string, scale float64, strategy, schedName, mshrsCSV, l1CSV, prefetchCSV string, seed int64, workers, commitWorkers int, tickEngine, batchExec bool) error {
+func run(cfgName, kernel string, scale float64, strategy, schedName, mshrsCSV, l1CSV, prefetchCSV string, seed int64, workers, commitWorkers int, tickEngine, batchExec, batchMem bool) error {
 	hw, err := core.ParseName(cfgName)
 	if err != nil {
 		return err
@@ -82,6 +83,7 @@ func run(cfgName, kernel string, scale float64, strategy, schedName, mshrsCSV, l
 		cfg.Sched = pt.sched
 		cfg.TickEngine = tickEngine
 		cfg.BatchExec = batchExec
+		cfg.BatchMem = batchMem
 		cfg.Mem.L1.MSHRs = pt.mshrs
 		cfg.Mem.L2.MSHRs = pt.mshrs
 		if pt.l1Size > 0 {

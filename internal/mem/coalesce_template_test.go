@@ -1,0 +1,139 @@
+package mem
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+	"testing/quick"
+)
+
+// templateMatchesCoalesce is the CoalesceTemplate correctness property: for
+// any leader address vector, active-lane mask, line shift and per-warp
+// delta, the template-derived line list of the shifted (mate) vector must
+// equal what a direct Coalesce of the mate's addresses produces — or the
+// derivation must refuse (ok=false), which it may do only for a
+// non-line-aligned delta. Returns a diagnostic string ("" = holds).
+func templateMatchesCoalesce(addrs []uint32, mask uint64, lineShift uint, delta uint32) string {
+	leader := Coalesce(addrs, mask, lineShift, nil)
+	mate := make([]uint32, len(addrs))
+	for i, a := range addrs {
+		mate[i] = a + delta
+	}
+	want := Coalesce(mate, mask, lineShift, nil)
+	got, ok := CoalesceTemplate(leader, delta, lineShift, nil)
+	if !ok {
+		if delta&(1<<lineShift-1) == 0 {
+			return "refused a line-aligned delta"
+		}
+		return "" // fallback contract: caller re-coalesces directly
+	}
+	if delta&(1<<lineShift-1) != 0 {
+		return "accepted a non-line-aligned delta"
+	}
+	if !slices.Equal(got, want) {
+		return "derived line list differs from direct Coalesce"
+	}
+	return ""
+}
+
+// TestCoalesceTemplateDirected pins the shapes the simulator actually
+// produces plus the adversarial ones: unit stride, constant stride,
+// scattered vectors outside the coalescer's 64-line dedup window, lines
+// straddling the window anchor, partial masks, duplicate addresses, and
+// the non-aligned-delta fallback.
+func TestCoalesceTemplateDirected(t *testing.T) {
+	const shift = 6 // 64B lines
+	unit := make([]uint32, 32)
+	strided := make([]uint32, 32)
+	scattered := make([]uint32, 32)
+	straddle := make([]uint32, 32)
+	same := make([]uint32, 32)
+	for i := range unit {
+		unit[i] = 0x8000 + uint32(i)*4
+		strided[i] = 0x8000 + uint32(i)*128
+		scattered[i] = uint32(i*i)*0x5137 + 64 // far outside any 64-line window
+		straddle[i] = 0x8000 + uint32(i)*64*33 // 33-line stride: straddles the window edge
+		same[i] = 0x8000
+	}
+	cases := []struct {
+		name  string
+		addrs []uint32
+		mask  uint64
+		delta uint32
+	}{
+		{"unit/aligned", unit, ^uint64(0) >> 32, 1 << shift},
+		{"unit/large-delta", unit, ^uint64(0) >> 32, 1 << 20},
+		{"unit/partial-mask", unit, 0x0f0f0f0f, 4 << shift},
+		{"strided/aligned", strided, ^uint64(0) >> 32, 2 << shift},
+		{"scattered/aligned", scattered, ^uint64(0) >> 32, 1 << shift},
+		{"straddle/aligned", straddle, ^uint64(0) >> 32, 1 << shift},
+		{"same-line/aligned", same, ^uint64(0) >> 32, 1 << shift},
+		{"unit/zero-delta", unit, ^uint64(0) >> 32, 0},
+		{"unit/wrap", unit, ^uint64(0) >> 32, 0xFFFFFFC0}, // mod-2^32 wrap, line-aligned
+		{"unit/unaligned-delta", unit, ^uint64(0) >> 32, 4},
+		{"scattered/unaligned-delta", scattered, ^uint64(0) >> 32, 7},
+	}
+	for _, tc := range cases {
+		if diag := templateMatchesCoalesce(tc.addrs, tc.mask, shift, tc.delta); diag != "" {
+			t.Errorf("%s: %s", tc.name, diag)
+		}
+	}
+}
+
+// TestCoalesceTemplateProperty drives the property through testing/quick
+// over randomized vectors: a mix of affine (base+lane*stride), duplicated
+// and fully scattered addresses, random masks, line sizes from 4B to 4KiB,
+// and deltas drawn both line-aligned and arbitrary.
+func TestCoalesceTemplateProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		lineShift := uint(2 + rng.Intn(11)) // 4B .. 4KiB lines
+		n := 1 + rng.Intn(64)
+		addrs := make([]uint32, n)
+		switch rng.Intn(3) {
+		case 0: // affine
+			base, stride := rng.Uint32(), rng.Uint32()%512
+			for i := range addrs {
+				addrs[i] = base + uint32(i)*stride
+			}
+		case 1: // scattered
+			for i := range addrs {
+				addrs[i] = rng.Uint32()
+			}
+		default: // heavy duplication
+			for i := range addrs {
+				addrs[i] = uint32(rng.Intn(4)) * 64
+			}
+		}
+		mask := rng.Uint64() & (1<<uint(n) - 1)
+		delta := rng.Uint32()
+		if rng.Intn(2) == 0 {
+			delta = delta >> lineShift << lineShift // force line-aligned half the time
+		}
+		return templateMatchesCoalesce(addrs, mask, lineShift, delta) == ""
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzCoalesceTemplate feeds arbitrary bytes as an address vector, mask,
+// shift and delta: CoalesceTemplate must never panic, must refuse exactly
+// the non-line-aligned deltas, and when it derives, the result must match
+// a direct Coalesce of the shifted vector.
+func FuzzCoalesceTemplate(f *testing.F) {
+	f.Add(uint32(0x8000), uint32(4), uint64(0xffffffff), uint8(6), uint32(64), uint8(16))
+	f.Add(uint32(0), uint32(0), uint64(1), uint8(2), uint32(7), uint8(1))
+	f.Add(uint32(0xFFFFFF00), uint32(64), ^uint64(0), uint8(12), uint32(0xFFFFF000), uint8(64))
+	f.Fuzz(func(t *testing.T, base, stride uint32, mask uint64, shiftRaw uint8, delta uint32, nRaw uint8) {
+		lineShift := uint(2 + shiftRaw%11)
+		n := 1 + int(nRaw%64)
+		addrs := make([]uint32, n)
+		for i := range addrs {
+			addrs[i] = base + uint32(i)*stride
+		}
+		if diag := templateMatchesCoalesce(addrs, mask, lineShift, delta); diag != "" {
+			t.Fatalf("shift=%d n=%d delta=%#x: %s", lineShift, n, delta, diag)
+		}
+	})
+}

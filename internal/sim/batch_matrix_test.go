@@ -58,3 +58,36 @@ func TestBatchKernelMatrix(t *testing.T) {
 		})
 	}
 }
+
+// runBatchMemKernel isolates the batched-memory layer: compute batching on
+// in both cells, Config.BatchMem toggled.
+func runBatchMemKernel(t *testing.T, name string, batchMem bool, workers int) kernelRun {
+	t.Helper()
+	cfg := sim.DefaultConfig(4, 8, 8)
+	cfg.BatchMem = batchMem
+	cfg.Workers = workers
+	cfg.CommitWorkers = workers
+	return runMatrixKernelCfg(t, name, cfg, fmt.Sprintf("batchMem=%v workers=%d", batchMem, workers))
+}
+
+// TestBatchMemKernelMatrix is the kernel-level half of the batched-memory
+// differential: registry kernels end-to-end with cohort-batched loads and
+// stores (the default) against the per-warp memory path
+// (Config.BatchMem=false), compute batching held on in both cells so the
+// diff isolates the memory layer. TestBatchKernelMatrix's fully-unbatched
+// oracle transitively covers the combined stack.
+func TestBatchMemKernelMatrix(t *testing.T) {
+	for _, name := range kernels.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			if testing.Short() && !batchMatrixKernels[name] {
+				t.Skip("short mode: batch matrix runs the cheap kernels only")
+			}
+			oracle := runBatchMemKernel(t, name, false, 1)
+			memSeq := runBatchMemKernel(t, name, true, 1)
+			memPar := runBatchMemKernel(t, name, true, 4)
+			diffKernelRuns(t, name+"/membatch-seq", oracle, memSeq)
+			diffKernelRuns(t, name+"/membatch-par", oracle, memPar)
+		})
+	}
+}

@@ -322,11 +322,12 @@ func (s *Sim) executeMem(c *simCore, wid int, w *warp, in isa.Inst) (uint64, err
 	isStore := in.IsStore()
 	rd, rs1, rs2 := int(in.Rd), int(in.Rs1), int(in.Rs2)
 
-	// Gather lane addresses and do the functional access.
+	// Gather lane addresses and validate every active lane before any
+	// functional access: a store warp that traps on a later lane must not
+	// leave earlier lanes' stores committed to memory.
 	for m := w.tmask; m != 0; m &= m - 1 {
 		lane := bits.TrailingZeros64(m)
-		b := lane * 32
-		addr := w.regs[b+rs1] + uint32(in.Imm)
+		addr := w.regs[lane*32+rs1] + uint32(in.Imm)
 		c.addrBuf[lane] = addr
 		if !s.memory.InBounds(addr, size) {
 			return 0, s.trapf(c, wid, w, "%s lane %d address %#x out of bounds (mem size %#x)", in.Op, lane, addr, s.memory.Size())
@@ -334,6 +335,13 @@ func (s *Sim) executeMem(c *simCore, wid int, w *warp, in isa.Inst) (uint64, err
 		if addr%size != 0 {
 			return 0, s.trapf(c, wid, w, "%s lane %d address %#x misaligned", in.Op, lane, addr)
 		}
+	}
+
+	// Functional access, now that no lane can trap.
+	for m := w.tmask; m != 0; m &= m - 1 {
+		lane := bits.TrailingZeros64(m)
+		b := lane * 32
+		addr := c.addrBuf[lane]
 		switch in.Op {
 		case isa.LW:
 			v, _ := s.memory.Read32(addr)
@@ -391,13 +399,24 @@ func (s *Sim) executeMem(c *simCore, wid int, w *warp, in isa.Inst) (uint64, err
 		c.lineBuf = mem.Coalesce(c.addrBuf[:s.cfg.Threads], w.tmask, shift, c.lineBuf)
 		lines = c.lineBuf
 	}
+	return s.memTiming(c, wid, rd, isStore, in.IsLoad(), in.Op == isa.FLW, lines), nil
+}
+
+// memTiming walks one memory instruction's coalesced line requests through
+// the hierarchy and applies the LSU/MSHR and statistics side effects — the
+// timing half of executeMem, shared verbatim by the batched-memory replay
+// (finishBatchedMem), which must produce the same completion cycles, MSHR
+// allocations and deferred-commit records as the per-warp path. Returns the
+// load completion cycle (sequential engines; the parallel engine patches it
+// at commit instead).
+func (s *Sim) memTiming(c *simCore, wid, rd int, isStore, isLoad, fp bool, lines []uint32) uint64 {
 	ports := s.cfg.LSUPorts
 	var done uint64
 	if s.par {
 		// Concurrent phase: walk only this core's private L1 and queue the
 		// misses; commitDeferred completes them in (cycle, core) order.
 		d := &c.md
-		d.active, d.isLoad, d.fp = true, in.IsLoad(), in.Op == isa.FLW
+		d.active, d.isLoad, d.fp = true, isLoad, fp
 		d.wid, d.rd = wid, rd
 		d.nMiss, d.partialDone = 0, 0
 		for i, line := range lines {
@@ -432,7 +451,7 @@ func (s *Sim) executeMem(c *simCore, wid int, w *warp, in isa.Inst) (uint64, err
 	} else {
 		c.stats.Loads++
 	}
-	return done, nil
+	return done
 }
 
 // csrRead implements the read-only CSR space.

@@ -35,6 +35,7 @@ import (
 	"math/bits"
 
 	"repro/internal/isa"
+	"repro/internal/mem"
 )
 
 // batchable reports whether op is eligible for cohort execution: pure
@@ -558,6 +559,291 @@ func batchWriteback(in isa.Inst, lat Latencies) (uint8, uint32) {
 			return batchDstFP, uint32(lat.FAdd)
 		}
 	}
+}
+
+// tryBatchMem attempts cohort batching of a memory instruction under
+// Config.BatchMem. The cohort predicate is collectCohort's, unchanged (same
+// pc, same thread mask, no scoreboard hazard, no unconsumed pre-execution);
+// with a cohort present the leader executes completely normally — per-lane
+// validation, functional access, coalescing, hierarchy timing, statistics,
+// observer event — and its decoded operation, lane address vector and line
+// list are captured as the core's memTemplate. Each mate is then tested for
+// AFFINE CONGRUENCE: its lane-address vector must equal the leader's plus
+// one per-warp constant delta (the base + tid*stride shape every registry
+// kernel emits). Congruent mates whose shifted address span stays in bounds
+// and aligned are marked for batched replay (finishBatchedMem); the rest —
+// scattered vectors, lane-varying deltas, out-of-bounds shifts — are simply
+// left unmarked and execute (or trap) normally at their own issue slots,
+// byte-identically to the oracle.
+//
+// Unlike compute batching, NOTHING of a mate executes at formation time:
+// pre-running a load or store early would reorder it against other warps'
+// stores and break functional byte-identity. The mate's functional access,
+// hierarchy walk, MSHR allocation and statistics all happen at its true
+// issue cycle; what batching removes is the per-warp re-decode, per-lane
+// validation and re-coalescing, plus the per-lane access loop when the bulk
+// fast path applies. Returns whether the leader issued here (false: no
+// cohort, the caller executes it on the plain per-warp path).
+func (s *Sim) tryBatchMem(c *simCore, wid int, w *warp, in isa.Inst, m instMeta) (bool, error) {
+	span := s.collectCohort(c, wid, w, in, m)
+	if span == nil {
+		return false, nil
+	}
+	pc := w.pc // execute advances it; mates are marked at the shared pc
+	if err := s.execute(c, wid, w, in); err != nil {
+		return false, err
+	}
+
+	// Capture the template from the leader's freshly filled scratch
+	// (addrBuf/lineBuf are overwritten by the next memory instruction, so
+	// the template keeps copies).
+	t := &c.memT
+	t.gen++
+	t.op, t.rd, t.rs2 = in.Op, in.Rd, in.Rs2
+	t.isStore = in.IsStore()
+	t.fp = in.Op == isa.FLW
+	t.size = 4
+	switch in.Op {
+	case isa.LB, isa.LBU, isa.SB:
+		t.size = 1
+	case isa.LH, isa.LHU, isa.SH:
+		t.size = 2
+	}
+	n := s.cfg.Threads
+	copy(t.addrs[:n], c.addrBuf[:n])
+	t.nLines = copy(t.lines[:], c.lineBuf)
+	first := true
+	for mm := w.tmask; mm != 0; mm &= mm - 1 {
+		a := c.addrBuf[bits.TrailingZeros64(mm)]
+		if first {
+			t.minA, t.maxA, first = a, a, false
+			continue
+		}
+		if a < t.minA {
+			t.minA = a
+		}
+		if a > t.maxA {
+			t.maxA = a
+		}
+	}
+	t.unit = t.size == 4 && w.tmask == s.fullMask
+	if t.unit {
+		t.base = t.addrs[0]
+		for lane := 1; lane < n; lane++ {
+			if t.addrs[lane] != t.base+uint32(lane)*4 {
+				t.unit = false
+				break
+			}
+		}
+	}
+
+	// Congruence and validity per mate. Deltas are computed against the
+	// captured leader addresses, not the leader's registers — a load with
+	// rd == rs1 has already overwritten those. All arithmetic is mod 2^32,
+	// exactly the wrap executeMem's own address computation uses; the span
+	// check mateMin <= mateMax rejects vectors whose shift wraps the
+	// address space, and InBounds on the shifted maximum then covers every
+	// lane (the minimum is implied). A line-aligned delta preserves the
+	// leader's alignment; a non-aligned t.size divisor cannot arise (delta
+	// must be a multiple of the access size for every mate lane to stay
+	// aligned, checked directly).
+	imm := uint32(in.Imm)
+	rs1 := int(in.Rs1)
+	lane0 := bits.TrailingZeros64(w.tmask)
+	for _, mw := range span[1:] {
+		delta := mw.regs[lane0*32+rs1] + imm - t.addrs[lane0]
+		congruent := true
+		for mm := w.tmask; mm != 0; mm &= mm - 1 {
+			lane := bits.TrailingZeros64(mm)
+			if mw.regs[lane*32+rs1]+imm-t.addrs[lane] != delta {
+				congruent = false
+				break
+			}
+		}
+		if !congruent || delta%t.size != 0 {
+			continue
+		}
+		mateMin, mateMax := t.minA+delta, t.maxA+delta
+		if mateMin > mateMax || !s.memory.InBounds(mateMax, t.size) {
+			continue
+		}
+		mw.batched, mw.batchPC, mw.batchDst = true, pc, batchDstMem
+		mw.batchGen, mw.batchMemDelta = t.gen, delta
+	}
+	return true, nil
+}
+
+// batchMemAccess performs a marked mate's functional memory access from the
+// core's template: one opcode dispatch per replay (instead of one per
+// lane), lane addresses derived as the leader's plus the mate's delta, and
+// the contiguous bulk-copy fast path — one bounds check plus one tight copy
+// loop between flat memory and the lane-major register file — when the
+// template is full-mask unit-stride 32-bit. Validation is skipped: the
+// mate's whole address span was bounds- and alignment-checked at cohort
+// formation, and device memory never shrinks while a kernel runs.
+func (s *Sim) batchMemAccess(t *memTemplate, w *warp, delta uint32) {
+	mm := s.memory
+	rd, rs2 := int(t.rd), int(t.rs2)
+	switch t.op {
+	case isa.LW:
+		if rd == 0 {
+			return
+		}
+		if t.unit {
+			mm.ReadWordsStrided(t.base+delta, s.cfg.Threads, w.regs, rd, 32)
+			return
+		}
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			v, _ := mm.Read32(t.addrs[lane] + delta)
+			regs[lane*32+rd] = v
+		}
+	case isa.FLW:
+		if t.unit {
+			mm.ReadWordsStrided(t.base+delta, s.cfg.Threads, w.fregs, rd, 32)
+			return
+		}
+		fregs := w.fregs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			v, _ := mm.Read32(t.addrs[lane] + delta)
+			fregs[lane*32+rd] = v
+		}
+	case isa.SW:
+		if t.unit {
+			mm.WriteWordsStrided(t.base+delta, s.cfg.Threads, w.regs, rs2, 32)
+			return
+		}
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			mm.Write32(t.addrs[lane]+delta, regs[lane*32+rs2])
+		}
+	case isa.FSW:
+		if t.unit {
+			mm.WriteWordsStrided(t.base+delta, s.cfg.Threads, w.fregs, rs2, 32)
+			return
+		}
+		fregs := w.fregs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			mm.Write32(t.addrs[lane]+delta, fregs[lane*32+rs2])
+		}
+	case isa.LH:
+		if rd == 0 {
+			return
+		}
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			v, _ := mm.Read16(t.addrs[lane] + delta)
+			regs[lane*32+rd] = uint32(int32(int16(v)))
+		}
+	case isa.LHU:
+		if rd == 0 {
+			return
+		}
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			v, _ := mm.Read16(t.addrs[lane] + delta)
+			regs[lane*32+rd] = uint32(v)
+		}
+	case isa.LB:
+		if rd == 0 {
+			return
+		}
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			v, _ := mm.Read8(t.addrs[lane] + delta)
+			regs[lane*32+rd] = uint32(int32(int8(v)))
+		}
+	case isa.LBU:
+		if rd == 0 {
+			return
+		}
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			v, _ := mm.Read8(t.addrs[lane] + delta)
+			regs[lane*32+rd] = uint32(v)
+		}
+	case isa.SH:
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			mm.Write16(t.addrs[lane]+delta, uint16(regs[lane*32+rs2]))
+		}
+	case isa.SB:
+		regs := w.regs
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			mm.Write8(t.addrs[lane]+delta, uint8(regs[lane*32+rs2]))
+		}
+	}
+}
+
+// finishBatchedMem replays a memory cohort mate at its true issue cycle:
+// observer event and issue statistics, the fused functional access
+// (batchMemAccess), the mate's line list — the leader's coalesced list
+// shifted by the delta (mem.CoalesceTemplate) with a direct re-coalesce
+// fallback for non-line-aligned deltas — and the full per-warp hierarchy
+// timing (memTiming: L1/L2/DRAM walk, MSHR allocation, lsuFree, stats,
+// deferred commit under the parallel engine) plus the load's scoreboard
+// writeback. Every observable therefore lands exactly where the per-warp
+// oracle puts it. Returns false when the mark's generation no longer
+// matches the core template (a later cohort overwrote it before this
+// mate's slot arrived); the caller then executes the instruction normally.
+func (s *Sim) finishBatchedMem(c *simCore, wid int, w *warp) bool {
+	t := &c.memT
+	if w.batchGen != t.gen {
+		return false
+	}
+	if s.observer != nil {
+		s.observer(IssueEvent{Cycle: s.cycle, Core: c.id, Warp: wid, PC: w.pc, Mask: w.tmask, Inst: s.prog[(w.pc-s.progBase)/4]})
+	}
+	c.stats.Issued++
+	c.stats.LaneOps += uint64(bits.OnesCount64(w.tmask))
+	w.batched = false
+	delta := w.batchMemDelta
+	s.batchMemAccess(t, w, delta)
+
+	shift := s.hier.LineShift()
+	var lines []uint32
+	if s.NoCoalesce {
+		lines = c.lineBuf[:0]
+		for msk := w.tmask; msk != 0; msk &= msk - 1 {
+			lane := bits.TrailingZeros64(msk)
+			lines = append(lines, (t.addrs[lane]+delta)>>shift<<shift)
+		}
+		c.lineBuf = lines
+	} else {
+		var ok bool
+		if lines, ok = mem.CoalesceTemplate(t.lines[:t.nLines], delta, shift, c.lineBuf); !ok {
+			// Non-line-aligned delta: rebuild the mate's address vector and
+			// coalesce it directly, exactly like the per-warp path.
+			for msk := w.tmask; msk != 0; msk &= msk - 1 {
+				lane := bits.TrailingZeros64(msk)
+				c.addrBuf[lane] = t.addrs[lane] + delta
+			}
+			lines = mem.Coalesce(c.addrBuf[:s.cfg.Threads], w.tmask, shift, c.lineBuf)
+		}
+		c.lineBuf = lines
+	}
+
+	rd := int(t.rd)
+	done := s.memTiming(c, wid, rd, t.isStore, !t.isStore, t.fp, lines)
+	if !t.isStore && !s.par {
+		if t.fp {
+			w.pendF[rd] = done
+		} else if rd != 0 {
+			w.pendI[rd] = done
+		}
+	}
+	w.pc += 4
+	return true
 }
 
 // finishBatched replays the per-warp issue bookkeeping for a warp whose

@@ -259,7 +259,12 @@ func (c *simCore) resetSched() {
 // is executed once for the whole lockstep cohort (collectCohort +
 // batchExec, exec_batch.go); cohort mates are marked and merely replay
 // their issue bookkeeping (finishBatched) when their own slot arrives, so
-// timing, statistics and the observer stream are untouched.
+// timing, statistics and the observer stream are untouched. Under
+// Config.BatchMem the same cohort machinery covers loads and stores: the
+// leader executes normally and affinely congruent mates replay through the
+// core's address template (tryBatchMem / finishBatchedMem) — functional
+// access, coalescing, hierarchy timing and MSHR allocation all at the
+// mate's true issue cycle, behind the same structural LSU gate.
 func (s *Sim) issueHeap(c *simCore) (bool, uint64, error) {
 	c.wakeWarps(s.cycle)
 	pol := s.sched
@@ -267,6 +272,7 @@ func (s *Sim) issueHeap(c *simCore) (bool, uint64, error) {
 	for avail != 0 {
 		wid := pol.Pick(c, avail)
 		w := &c.warps[wid]
+		bit := uint64(1) << uint(wid)
 		if w.batched && w.batchPC == w.pc {
 			// Cohort mate whose pre-executed slot has arrived: replay the
 			// per-warp issue bookkeeping at the true issue cycle. The fetch
@@ -275,13 +281,34 @@ func (s *Sim) issueHeap(c *simCore) (bool, uint64, error) {
 			// pending completions cannot have changed since the leader
 			// verified them (they are only written at the warp's own issue,
 			// which is this one).
-			s.finishBatched(c, wid, w)
-			w.wakeValid = false
-			w.last = s.cycle
-			pol.Issued(c, wid)
-			return true, 0, nil
+			if w.batchDst != batchDstMem {
+				s.finishBatched(c, wid, w)
+				w.wakeValid = false
+				w.last = s.cycle
+				pol.Issued(c, wid)
+				return true, 0, nil
+			}
+			// Memory cohort mate: the structural LSU/MSHR gate still applies
+			// at the mate's own slot, exactly as on the per-warp path, with
+			// the oracle's stall-cache write so the wake key and cache state
+			// match byte for byte.
+			if at := s.lsuReadyAt(c); at > s.cycle {
+				w.wakeValid, w.wakePC, w.wake, w.wakeMem = true, w.pc, 0, true
+				avail &^= bit
+				c.sleepWarp(wid, at)
+				continue
+			}
+			if s.finishBatchedMem(c, wid, w) {
+				w.wakeValid = false
+				w.last = s.cycle
+				pol.Issued(c, wid)
+				return true, 0, nil
+			}
+			// The core's template was overwritten by a later cohort before
+			// this mate's slot arrived (stale generation): fall through to
+			// plain per-warp execution.
+			w.batched = false
 		}
-		bit := uint64(1) << uint(wid)
 		var in isa.Inst
 		var m instMeta
 		if w.wakeValid && w.wakePC == w.pc {
@@ -349,6 +376,15 @@ func (s *Sim) issueHeap(c *simCore) (bool, uint64, error) {
 			fallthrough
 		default:
 			w.batched = false // defensive: a stale mark must never suppress execution
+			if s.batchMem && m&mIsMem != 0 {
+				issued, err := s.tryBatchMem(c, wid, w, in, m)
+				if err != nil {
+					return false, 0, err
+				}
+				if issued {
+					break
+				}
+			}
 			if err := s.execute(c, wid, w, in); err != nil {
 				return false, 0, err
 			}

@@ -73,10 +73,18 @@ type warp struct {
 	// computed once per cohort so the replay skips the opcode switches.
 	// Cleared at issue and on warp reset.
 	batched  bool
-	batchDst uint8 // batchDstNone/Int/FP: which scoreboard the replay writes
+	batchDst uint8 // batchDstNone/Int/FP/Mem: which replay path finishes the issue
 	batchRd  uint8 // destination register of the pre-executed instruction
 	batchPC  uint32
 	batchLat uint32 // completion latency added to the replay's issue cycle
+
+	// Batched-memory replay state (batchDst == batchDstMem): the mate's
+	// lane addresses are the core's memory template shifted by
+	// batchMemDelta; batchGen must match the template's generation or the
+	// template was overwritten by a later cohort and the mate re-executes
+	// normally. Only meaningful while batched is set.
+	batchGen      uint64
+	batchMemDelta uint32
 }
 
 // Writeback classes for warp.batchDst.
@@ -84,6 +92,7 @@ const (
 	batchDstNone = uint8(iota) // no register write (rd == x0)
 	batchDstInt                // pendI[rd]
 	batchDstFP                 // pendF[rd]
+	batchDstMem                // memory replay through the core's memTemplate
 )
 
 type barrier struct {
@@ -122,6 +131,34 @@ type memDefer struct {
 	// owns the miss — exactly one writer per slot — and folded into the
 	// load's scoreboard entry by the coordinator's patch step.
 	missDone [64]uint64
+}
+
+// memTemplate captures a memory cohort leader's decoded operation, lane
+// address vector and coalesced line list at cohort formation, so congruent
+// mates replay through fused kernels (exec_batch.go) without re-decoding,
+// re-validating or re-coalescing. One template per core suffices: the LSU
+// admits one memory instruction per core per cycle, and gen — bumped per
+// cohort — invalidates marks left over when a later cohort overwrites the
+// template before every mate of the earlier one drained (such mates fall
+// back to normal execution).
+type memTemplate struct {
+	gen     uint64
+	op      isa.Op
+	rd      uint8
+	rs2     uint8
+	size    uint32
+	isStore bool
+	fp      bool // FLW/FSW: the float register file holds the data
+	// unit marks the contiguous bulk-copy fast path: full thread mask,
+	// 32-bit access, lane addresses base + 4*lane — one bounds check and
+	// one tight copy loop instead of per-lane accesses.
+	unit bool
+	base uint32 // lane-0 address when unit
+
+	minA, maxA uint32 // extremes of the leader's active-lane addresses
+	nLines     int
+	addrs      [64]uint32 // leader lane addresses (copied: addrBuf is reused)
+	lines      [64]uint32 // leader line list (copied: lineBuf is reused)
 }
 
 type simCore struct {
@@ -164,6 +201,7 @@ type simCore struct {
 	lineBuf []uint32
 	cohort  []*warp
 	md      memDefer
+	memT    memTemplate
 }
 
 // Sim is one device instance. Memory and the cache hierarchy are injected
@@ -188,6 +226,7 @@ type Sim struct {
 	maxFU    uint64 // cached Lat.max(): the longest FU latency, for stall attribution
 	par      bool   // a parallel run is in flight: defer shared-memory timing
 	batch    bool   // cached cfg.BatchExec && !cfg.ScanSched (the scan oracle is always per-warp)
+	batchMem bool   // cached cfg.BatchMem && batch: memory cohorts need the heap engine too
 	mshrs    int    // cached cfg.Mem.L1.MSHRs: per-core outstanding-miss bound (0 = unbounded)
 
 	// Sharded-commit scratch (parallel engine), reused across cycles: the
@@ -222,6 +261,7 @@ func New(cfg Config, memory *mem.Memory, hier *mem.Hierarchy) (*Sim, error) {
 		fullMask: fullMask(cfg.Threads),
 		maxFU:    uint64(cfg.Lat.max()),
 		batch:    cfg.BatchExec && !cfg.ScanSched,
+		batchMem: cfg.BatchMem && cfg.BatchExec && !cfg.ScanSched,
 		mshrs:    cfg.Mem.L1.MSHRs,
 	}
 	for i := range s.cores {
@@ -361,6 +401,7 @@ func (s *Sim) Reset() {
 		c.blockMem = false
 		c.stats = CoreStats{}
 		c.md = memDefer{}
+		c.memT = memTemplate{}
 		for j := range c.warps {
 			w := &c.warps[j]
 			w.active = false

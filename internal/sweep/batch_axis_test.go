@@ -31,3 +31,30 @@ func TestSweepBatchExecRecordIdentity(t *testing.T) {
 		t.Fatal("batched sweep records not byte-identical to the per-warp oracle")
 	}
 }
+
+// TestSweepBatchMemRecordIdentity is the batched-memory half: a campaign
+// whose devices run every load and store on the per-warp path
+// (Options.NoBatchMem -> sim.Config.BatchMem=false) must produce records
+// byte-identical to the default campaign, which batches memory cohorts
+// through affine address templates. internal/sim pins the same property at
+// the bare-simulator level (batch_mem_test.go).
+func TestSweepBatchMemRecordIdentity(t *testing.T) {
+	batched, err := Run(schedCampaignOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := schedCampaignOpts()
+	opts.NoBatchMem = true
+	oracle, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, batched.Records), mustJSON(t, oracle.Records)) {
+		for i := range batched.Records {
+			if !bytes.Equal(mustJSON(t, batched.Records[i]), mustJSON(t, oracle.Records[i])) {
+				t.Errorf("record %d differs:\nbatched   %+v\nunbatched %+v", i, batched.Records[i], oracle.Records[i])
+			}
+		}
+		t.Fatal("batched-memory sweep records not byte-identical to the per-warp oracle")
+	}
+}

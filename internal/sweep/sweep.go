@@ -138,6 +138,12 @@ type Options struct {
 	// TickEngine — this is a wall-clock/differential knob and is not part
 	// of the task identity recorded in checkpoints.
 	NoBatchExec bool
+	// NoBatchMem disables cohort-batched memory execution
+	// (sim.Config.BatchMem), running every load and store on the per-warp
+	// oracle path. The paths are byte-identical in every record, so — like
+	// NoBatchExec — this is a wall-clock/differential knob and is not part
+	// of the task identity recorded in checkpoints.
+	NoBatchMem bool
 	// Checkpoint, if non-empty, is a JSONL file each completed record is
 	// appended to (and flushed) as its simulation finishes, so a killed
 	// campaign preserves the work done. See checkpoint.go for the format.
@@ -626,6 +632,9 @@ func runOne(opts Options, pool *ocl.DevicePool, t Task) Record {
 	}
 	if opts.NoBatchExec {
 		cfg.BatchExec = false
+	}
+	if opts.NoBatchMem {
+		cfg.BatchMem = false
 	}
 	d, err := pool.Get(cfg)
 	if err != nil {
